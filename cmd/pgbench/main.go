@@ -1,0 +1,116 @@
+// Command pgbench regenerates the paper's tables and figures on the
+// synthetic benchmark suite:
+//
+//	pgbench -exp table1              measured Table I scheme comparison
+//	pgbench -exp table2 -scale 0.25  Table II CPU times on ckt1..ckt5
+//	pgbench -exp fig4                Fig. 4 ROM structure + ASCII spy plots
+//	pgbench -exp fig5 -points 61     Fig. 5 accuracy sweep (CSV)
+//	pgbench -exp all                 everything
+//
+// At -scale 1 the instances match the paper's node/port counts (ckt5 is a
+// 1.7M-node build; expect a long run). The -budget flag emulates the
+// paper's 4 GiB workstation and triggers the PRIMA/SVDMOR breakdowns.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/grid"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|all")
+	scale := flag.Float64("scale", 0.25, "benchmark scale factor (0,1]; 1 = paper-size grids")
+	points := flag.Int("points", 61, "frequency samples for fig5")
+	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
+	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
+	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:        *scale,
+		SweepPoints:  *points,
+		MemoryBudget: int64(*budgetGiB * float64(1<<30)),
+		Workers:      *workers,
+	}
+	var list []string
+	if *ckts != "" {
+		list = strings.Split(*ckts, ",")
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("=== %s ===\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "pgbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if want("table1") {
+		any = true
+		run("Table I", func() error {
+			res, err := bench.TableI(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if want("table2") {
+		any = true
+		run("Table II", func() error {
+			res, err := bench.TableII(cfg, list)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig4") {
+		any = true
+		run("Fig. 4", func() error {
+			res, err := bench.Fig4(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if want("fig5") {
+		any = true
+		run("Fig. 5", func() error {
+			res, err := bench.Fig5(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if want("ablation") {
+		any = true
+		run("Ablation: orthonormalization cost", func() error {
+			res, err := bench.AblationOrthoCost(cfg, nil)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			return nil
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
+		os.Exit(2)
+	}
+}

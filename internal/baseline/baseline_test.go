@@ -1,0 +1,255 @@
+package baseline
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/grid"
+	"repro/internal/lti"
+)
+
+func testGrid(t testing.TB, nx, ny, layers, ports int) *lti.SparseSystem {
+	t.Helper()
+	cfg := grid.Config{Name: "t", NX: nx, NY: ny, Layers: layers, Ports: ports,
+		Pads: 2, SheetR: 0.05, LayerRScale: 2, ViaR: 0.5, ViaPitch: 3,
+		NodeC: 50e-15, PadR: 0.1, PadL: 0.5e-9, Variation: 0.2, Seed: 11}
+	m, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lti.NewSparseSystem(m.C, m.G, m.B, m.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func relErr(hx, hr *dense.Mat[complex128]) float64 {
+	num, den := 0.0, 0.0
+	for i := range hx.Data {
+		num += cmplx.Abs(hx.Data[i]-hr.Data[i]) * cmplx.Abs(hx.Data[i]-hr.Data[i])
+		den += cmplx.Abs(hx.Data[i]) * cmplx.Abs(hx.Data[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func TestPRIMAMomentMatching(t *testing.T) {
+	sys := testGrid(t, 8, 8, 2, 5)
+	s0, l := 1e9, 4
+	var st Stats
+	rom, err := PRIMA(sys, Options{S0: s0, Moments: l, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, m, p := rom.Dims()
+	_, ms, ps := sys.Dims()
+	if m != ms || p != ps || q != ms*l {
+		t.Fatalf("ROM dims %d/%d/%d", q, m, p)
+	}
+	mo, err := sys.Moments(s0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := rom.Moments(s0, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < l; k++ {
+		scale := mo[k].MaxAbs()
+		if diff := mo[k].Sub(mr[k]).MaxAbs(); diff > 1e-6*scale {
+			t.Fatalf("moment %d rel err %.3e", k, diff/scale)
+		}
+	}
+	// PRIMA's ROM is fully dense: nnz(Gr) = q².
+	_, gnnz, _, _ := rom.NNZ()
+	if gnnz < q*q*9/10 {
+		t.Errorf("PRIMA Gr unexpectedly sparse: %d of %d", gnnz, q*q)
+	}
+	if st.PencilSolves == 0 || st.BasisColumns != q {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestPRIMABudgetBreakdown(t *testing.T) {
+	sys := testGrid(t, 10, 10, 2, 8)
+	// A deliberately tiny budget triggers the Table II "break down" path.
+	_, err := PRIMA(sys, Options{Moments: 6, MemoryBudget: 1 << 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	// Unlimited budget succeeds.
+	if _, err := PRIMA(sys, Options{Moments: 6, MemoryBudget: -1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEKSMatchesFullResponseUnderBakedInput(t *testing.T) {
+	sys := testGrid(t, 8, 8, 2, 5)
+	_, m, p := sys.Dims()
+	rom, err := EKS(sys, nil, Options{S0: 1e9, Moments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.Order() != 8 {
+		t.Fatalf("EKS order %d, want 8 (size-l ROM, Table II)", rom.Order())
+	}
+	// Under the baked-in all-ones excitation the EKS ROM is accurate.
+	s := complex(0, 5e8)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]complex128, m)
+	for i := range u {
+		u[i] = 1
+	}
+	yx := hx.MulVec(u)
+	yr, err := rom.ResponseEval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p; i++ {
+		if cmplx.Abs(yx[i]-yr[i]) > 1e-3*(1+cmplx.Abs(yx[i])) {
+			t.Fatalf("EKS baked response output %d: %v vs %v", i, yr[i], yx[i])
+		}
+	}
+}
+
+func TestEKSNotReusable(t *testing.T) {
+	// Under a different excitation pattern the same EKS ROM must show large
+	// error, while a BDSM ROM of comparable build cost stays accurate —
+	// Table I's "reusable" row and the Fig. 5 finding.
+	sys := testGrid(t, 8, 8, 2, 5)
+	_, m, _ := sys.Dims()
+	eks, err := EKS(sys, nil, Options{S0: 1e9, Moments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bdsm, err := core.Reduce(sys, core.Options{S0: 1e9, Moments: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex(0, 5e8)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New pattern: only port 2 excited.
+	u := make([]complex128, m)
+	u[2] = 1
+	yx := hx.MulVec(u)
+
+	he, err := eks.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ye := he.MulVec(u)
+	hb, err := bdsm.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb := hb.MulVec(u)
+
+	eksErr, bdsmErr := 0.0, 0.0
+	scale := 0.0
+	for i := range yx {
+		eksErr += cmplx.Abs(yx[i] - ye[i])
+		bdsmErr += cmplx.Abs(yx[i] - yb[i])
+		scale += cmplx.Abs(yx[i])
+	}
+	if bdsmErr/scale > 1e-4 {
+		t.Fatalf("BDSM error %.3e under new pattern", bdsmErr/scale)
+	}
+	if eksErr < 100*bdsmErr {
+		t.Fatalf("EKS error %.3e not ≫ BDSM error %.3e under new pattern", eksErr/scale, bdsmErr/scale)
+	}
+}
+
+func TestEKSRejectsWrongPatternLength(t *testing.T) {
+	sys := testGrid(t, 6, 6, 1, 3)
+	if _, err := EKS(sys, []float64{1, 2}, Options{}); err == nil {
+		t.Fatal("wrong excitation length accepted")
+	}
+}
+
+func TestSVDMORSizeAndAccuracyOrdering(t *testing.T) {
+	sys := testGrid(t, 8, 8, 2, 6)
+	_, m, _ := sys.Dims()
+	alpha := 0.6
+	l := 4
+	svd, err := SVDMOR(sys, alpha, Options{S0: 1e9, Moments: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantR := int(alpha*float64(m) + 0.999999)
+	if svd.Order() != wantR*l {
+		t.Fatalf("SVDMOR order %d, want α·m·l = %d", svd.Order(), wantR*l)
+	}
+	bdsm, err := core.Reduce(sys, core.Options{S0: 1e9, Moments: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex(0, 3e8)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := svd.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := bdsm.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, eb := relErr(hx, hs), relErr(hx, hb)
+	// Terminal reduction is error-prone (paper Sec. II-B): SVDMOR error must
+	// exceed BDSM's exact-moment-matching error.
+	if es <= eb {
+		t.Fatalf("SVDMOR error %.3e not above BDSM error %.3e", es, eb)
+	}
+}
+
+func TestSVDMORFullAlphaStillWorks(t *testing.T) {
+	sys := testGrid(t, 7, 7, 1, 4)
+	rom, err := SVDMOR(sys, 1.0, Options{S0: 1e9, Moments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α = 1 keeps all ports: accuracy should be PRIMA-like.
+	s := complex(0, 1e8)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := rom.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := relErr(hx, hr); e > 1e-6 {
+		t.Fatalf("α=1 SVDMOR error %.3e", e)
+	}
+}
+
+func TestSVDMORInvalidAlpha(t *testing.T) {
+	sys := testGrid(t, 6, 6, 1, 3)
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if _, err := SVDMOR(sys, a, Options{}); err == nil {
+			t.Errorf("alpha %g accepted", a)
+		}
+	}
+}
+
+func TestSVDMORBudgetBreakdown(t *testing.T) {
+	sys := testGrid(t, 10, 10, 2, 8)
+	_, err := SVDMOR(sys, 0.6, Options{Moments: 6, MemoryBudget: 1 << 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"errors"
+	"math/cmplx"
+	"testing"
+)
+
+func TestPRIMAMultipointMatchesMomentsAtEachPoint(t *testing.T) {
+	sys := testGrid(t, 8, 8, 2, 4)
+	points := []float64{1e8, 1e10}
+	l := 3
+	var st Stats
+	rom, err := PRIMAMultipoint(sys, points, Options{Moments: l, MemoryBudget: -1, Stats: &st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, _ := sys.Dims()
+	q, _, _ := rom.Dims()
+	if q > m*l*len(points) {
+		t.Fatalf("ROM order %d exceeds m·l·points = %d", q, m*l*len(points))
+	}
+	for _, s0 := range points {
+		mo, err := sys.Moments(s0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := rom.Moments(s0, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < l; k++ {
+			scale := mo[k].MaxAbs()
+			if diff := mo[k].Sub(mr[k]).MaxAbs(); diff > 1e-6*scale {
+				t.Fatalf("s0=%g moment %d rel err %.3e", s0, k, diff/scale)
+			}
+		}
+	}
+	if st.PencilSolves == 0 || st.BasisColumns != q {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestPRIMAMultipointWidebandBeatsSinglePoint(t *testing.T) {
+	sys := testGrid(t, 8, 8, 2, 4)
+	single, err := PRIMA(sys, Options{S0: 1e9, Moments: 3, MemoryBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := PRIMAMultipoint(sys, []float64{1e8, 1e10, 1e12}, Options{Moments: 3, MemoryBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := complex(0, 3e11)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := single.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm, err := multi.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, em := 0.0, 0.0
+	for i := range hx.Data {
+		if d := cmplx.Abs(hx.Data[i] - hs.Data[i]); d > es {
+			es = d
+		}
+		if d := cmplx.Abs(hx.Data[i] - hm.Data[i]); d > em {
+			em = d
+		}
+	}
+	if em > es {
+		t.Errorf("multipoint error %.3e worse than single-point %.3e far from s0", em, es)
+	}
+}
+
+func TestPRIMAMultipointBudget(t *testing.T) {
+	sys := testGrid(t, 8, 8, 2, 6)
+	_, err := PRIMAMultipoint(sys, []float64{1e8, 1e10}, Options{Moments: 6, MemoryBudget: 1 << 10})
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+func TestPRIMAMultipointDefaultsToSinglePoint(t *testing.T) {
+	sys := testGrid(t, 7, 7, 1, 3)
+	a, err := PRIMAMultipoint(sys, nil, Options{S0: 1e9, Moments: 3, MemoryBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PRIMA(sys, Options{S0: 1e9, Moments: 3, MemoryBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qa, _, _ := a.Dims()
+	qb, _, _ := b.Dims()
+	if qa != qb {
+		t.Fatalf("nil points ROM order %d != single point PRIMA %d", qa, qb)
+	}
+}
+
+func TestSVDMORDims(t *testing.T) {
+	sys := testGrid(t, 7, 7, 1, 4)
+	rom, err := SVDMOR(sys, 0.5, Options{Moments: 3, MemoryBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, p := rom.Dims()
+	_, ms, ps := sys.Dims()
+	if m != ms || p != ps {
+		t.Fatalf("SVDMOR Dims %d/%d, want original ports %d/%d", m, p, ms, ps)
+	}
+}

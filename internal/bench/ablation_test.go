@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationOrthoCostMatchesTheory(t *testing.T) {
+	res, err := AblationOrthoCost(Config{Scale: 0.1}, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Measured counts equal the closed-form expressions exactly when no
+		// deflation occurs (generic grids).
+		if r.BDSMDots != r.TheoryBDSMDots {
+			t.Errorf("m=%d: BDSM dots %d != theory %d", r.Ports, r.BDSMDots, r.TheoryBDSMDots)
+		}
+		if r.PRIMADots != r.TheoryPRIMA {
+			t.Errorf("m=%d: PRIMA dots %d != theory %d", r.Ports, r.PRIMADots, r.TheoryPRIMA)
+		}
+		if r.BDSMDots >= r.PRIMADots {
+			t.Errorf("m=%d: BDSM not cheaper", r.Ports)
+		}
+	}
+	// The PRIMA/BDSM ratio must grow with the port count.
+	r0 := float64(res.Rows[0].PRIMADots) / float64(res.Rows[0].BDSMDots)
+	r1 := float64(res.Rows[1].PRIMADots) / float64(res.Rows[1].BDSMDots)
+	if r1 <= r0 {
+		t.Errorf("dot ratio did not grow with m: %.1f → %.1f", r0, r1)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "dot ratio") {
+		t.Error("render missing header")
+	}
+}

@@ -1,0 +1,173 @@
+// Package circuit provides the circuit-level substrate of the library: an
+// RLC netlist model with current/voltage sources, a SPICE-subset parser, and
+// modified nodal analysis (MNA) stamping into the descriptor form used by
+// the model reduction algorithms.
+//
+// The produced matrices follow the paper's sign convention
+//
+//	C dx/dt = G x + B u,   y = L x,   H(s) = L (sC - G)^{-1} B
+//
+// so G here is the negated standard MNA conductance matrix.
+package circuit
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ElementKind enumerates supported circuit elements.
+type ElementKind int
+
+const (
+	// Resistor is a two-terminal linear resistance (value in ohms).
+	Resistor ElementKind = iota
+	// Capacitor is a two-terminal linear capacitance (value in farads).
+	Capacitor
+	// Inductor is a two-terminal linear inductance (value in henries);
+	// it introduces a branch-current state variable.
+	Inductor
+	// CurrentSource is an independent current source; each one is an input
+	// port of the MNA model. Current flows from NodePos through the source
+	// to NodeNeg (SPICE convention).
+	CurrentSource
+	// VoltageSource is an independent voltage source; it introduces a
+	// branch-current state variable and an input port.
+	VoltageSource
+)
+
+func (k ElementKind) String() string {
+	switch k {
+	case Resistor:
+		return "R"
+	case Capacitor:
+		return "C"
+	case Inductor:
+		return "L"
+	case CurrentSource:
+		return "I"
+	case VoltageSource:
+		return "V"
+	}
+	return "?"
+}
+
+// Element is one netlist entry. Value is the element value in SI units; for
+// sources it is the DC/scale value (the transient waveform is supplied by
+// the simulation layer).
+type Element struct {
+	Kind    ElementKind
+	Name    string
+	NodePos string
+	NodeNeg string
+	Value   float64
+}
+
+// Netlist is an in-memory circuit description. The zero value is usable.
+type Netlist struct {
+	Title    string
+	Elements []Element
+	// Probes lists node names whose voltages are observation outputs. When
+	// empty, MNA defaults to probing every current-source positive node.
+	Probes []string
+
+	names map[string]bool
+}
+
+// groundNames are the node names treated as the reference node.
+func isGround(name string) bool {
+	return name == "0" || name == "gnd" || name == "GND" || name == "Gnd"
+}
+
+func (nl *Netlist) add(e Element) error {
+	if e.Value < 0 || (e.Value == 0 && (e.Kind == Resistor || e.Kind == Capacitor || e.Kind == Inductor)) {
+		if e.Kind == Resistor || e.Kind == Capacitor || e.Kind == Inductor {
+			return fmt.Errorf("circuit: %s %q: value must be positive, got %g", e.Kind, e.Name, e.Value)
+		}
+	}
+	if e.NodePos == e.NodeNeg {
+		return fmt.Errorf("circuit: %s %q: both terminals on node %q", e.Kind, e.Name, e.NodePos)
+	}
+	if nl.names == nil {
+		nl.names = make(map[string]bool)
+	}
+	if nl.names[e.Name] {
+		return fmt.Errorf("circuit: duplicate element name %q", e.Name)
+	}
+	nl.names[e.Name] = true
+	nl.Elements = append(nl.Elements, e)
+	return nil
+}
+
+// AddResistor appends a resistor (ohms).
+func (nl *Netlist) AddResistor(name, n1, n2 string, ohms float64) error {
+	return nl.add(Element{Kind: Resistor, Name: name, NodePos: n1, NodeNeg: n2, Value: ohms})
+}
+
+// AddCapacitor appends a capacitor (farads).
+func (nl *Netlist) AddCapacitor(name, n1, n2 string, farads float64) error {
+	return nl.add(Element{Kind: Capacitor, Name: name, NodePos: n1, NodeNeg: n2, Value: farads})
+}
+
+// AddInductor appends an inductor (henries).
+func (nl *Netlist) AddInductor(name, n1, n2 string, henries float64) error {
+	return nl.add(Element{Kind: Inductor, Name: name, NodePos: n1, NodeNeg: n2, Value: henries})
+}
+
+// AddCurrentSource appends an independent current source (amperes) flowing
+// from n1 through the source to n2. Each current source is an input port.
+func (nl *Netlist) AddCurrentSource(name, n1, n2 string, amps float64) error {
+	return nl.add(Element{Kind: CurrentSource, Name: name, NodePos: n1, NodeNeg: n2, Value: amps})
+}
+
+// AddVoltageSource appends an independent voltage source (volts) with the
+// positive terminal on n1. Each voltage source is an input port.
+func (nl *Netlist) AddVoltageSource(name, n1, n2 string, volts float64) error {
+	return nl.add(Element{Kind: VoltageSource, Name: name, NodePos: n1, NodeNeg: n2, Value: volts})
+}
+
+// AddProbe marks a node voltage as an observation output.
+func (nl *Netlist) AddProbe(node string) {
+	nl.Probes = append(nl.Probes, node)
+}
+
+// NodeNames returns all non-ground node names in deterministic
+// (lexicographic) order.
+func (nl *Netlist) NodeNames() []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, e := range nl.Elements {
+		for _, n := range [2]string{e.NodePos, e.NodeNeg} {
+			if !isGround(n) && !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats summarizes the netlist composition.
+type Stats struct {
+	Nodes, Resistors, Capacitors, Inductors, CurrentSources, VoltageSources int
+}
+
+// Stats returns element and node counts.
+func (nl *Netlist) Stats() Stats {
+	s := Stats{Nodes: len(nl.NodeNames())}
+	for _, e := range nl.Elements {
+		switch e.Kind {
+		case Resistor:
+			s.Resistors++
+		case Capacitor:
+			s.Capacitors++
+		case Inductor:
+			s.Inductors++
+		case CurrentSource:
+			s.CurrentSources++
+		case VoltageSource:
+			s.VoltageSources++
+		}
+	}
+	return s
+}

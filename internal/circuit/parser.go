@@ -1,0 +1,225 @@
+package circuit
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError reports a netlist syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("circuit: parse error on line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a SPICE-subset netlist:
+//
+//   - comment lines start with '*'; everything after ';' is a comment
+//     Rname n1 n2 value      resistor
+//     Cname n1 n2 value      capacitor
+//     Lname n1 n2 value      inductor
+//     Iname n1 n2 value      current source (input port)
+//     Vname n1 n2 value      voltage source (input port)
+//     .probe v(node) ...     observation outputs
+//     .title any text
+//     .end                   optional terminator
+//
+// Values accept standard SPICE magnitude suffixes (f p n u m k meg g t) and
+// optional trailing units (e.g. 10k, 1.5pF, 2meg). The first line is taken
+// as the title if it does not parse as an element or directive.
+func Parse(r io.Reader) (*Netlist, error) {
+	nl := &Netlist{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	lineNo := 0
+	first := true
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "*") {
+			first = false
+			continue
+		}
+		fields := strings.Fields(line)
+		kind := line[0]
+		switch {
+		case kind == '.':
+			if err := parseDirective(nl, fields, lineNo); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("RCLIVrcliv", rune(kind)):
+			if err := parseElement(nl, fields, lineNo); err != nil {
+				if first {
+					// SPICE treats the first line as a title.
+					nl.Title = line
+					first = false
+					continue
+				}
+				return nil, err
+			}
+		default:
+			if first {
+				nl.Title = line
+			} else {
+				return nil, &ParseError{lineNo, fmt.Sprintf("unrecognized card %q", fields[0])}
+			}
+		}
+		first = false
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("circuit: reading netlist: %w", err)
+	}
+	return nl, nil
+}
+
+func parseDirective(nl *Netlist, fields []string, lineNo int) error {
+	switch strings.ToLower(fields[0]) {
+	case ".end", ".ends":
+		return nil
+	case ".title":
+		nl.Title = strings.Join(fields[1:], " ")
+		return nil
+	case ".probe", ".print", ".plot":
+		for _, f := range fields[1:] {
+			node, ok := parseProbe(f)
+			if !ok {
+				return &ParseError{lineNo, fmt.Sprintf("bad probe %q (want v(node))", f)}
+			}
+			nl.AddProbe(node)
+		}
+		return nil
+	default:
+		// Unknown directives (.tran, .ac, .option...) are tolerated: the
+		// simulation setup lives outside the netlist in this library.
+		return nil
+	}
+}
+
+func parseProbe(s string) (node string, ok bool) {
+	ls := strings.ToLower(s)
+	if !strings.HasPrefix(ls, "v(") || !strings.HasSuffix(s, ")") {
+		return "", false
+	}
+	node = s[2 : len(s)-1]
+	return node, node != ""
+}
+
+func parseElement(nl *Netlist, fields []string, lineNo int) error {
+	if len(fields) < 4 {
+		return &ParseError{lineNo, fmt.Sprintf("element %q needs 4 fields, got %d", fields[0], len(fields))}
+	}
+	name := fields[0]
+	n1, n2 := fields[1], fields[2]
+	val, err := ParseValue(fields[3])
+	if err != nil {
+		return &ParseError{lineNo, fmt.Sprintf("element %q: %v", name, err)}
+	}
+	switch name[0] {
+	case 'R', 'r':
+		err = nl.AddResistor(name, n1, n2, val)
+	case 'C', 'c':
+		err = nl.AddCapacitor(name, n1, n2, val)
+	case 'L', 'l':
+		err = nl.AddInductor(name, n1, n2, val)
+	case 'I', 'i':
+		err = nl.AddCurrentSource(name, n1, n2, val)
+	case 'V', 'v':
+		err = nl.AddVoltageSource(name, n1, n2, val)
+	default:
+		return &ParseError{lineNo, fmt.Sprintf("unsupported element %q", name)}
+	}
+	if err != nil {
+		return &ParseError{lineNo, err.Error()}
+	}
+	return nil
+}
+
+// ParseValue parses a SPICE numeric literal with magnitude suffix:
+// 1.5k → 1500, 2meg → 2e6, 10p → 1e-11, 3mil is not supported. Trailing
+// unit letters after the suffix are ignored (1.5pF, 10kOhm).
+func ParseValue(s string) (float64, error) {
+	ls := strings.ToLower(strings.TrimSpace(s))
+	if ls == "" {
+		return 0, fmt.Errorf("empty value")
+	}
+	// Split numeric prefix.
+	end := 0
+	for end < len(ls) {
+		c := ls[end]
+		if c >= '0' && c <= '9' || c == '.' || c == '+' || c == '-' ||
+			(c == 'e' && end+1 < len(ls) && (ls[end+1] == '+' || ls[end+1] == '-' || ls[end+1] >= '0' && ls[end+1] <= '9')) {
+			if c == 'e' {
+				end++ // consume exponent marker and continue with digits
+			}
+			end++
+			continue
+		}
+		break
+	}
+	num, err := strconv.ParseFloat(ls[:end], 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad numeric value %q", s)
+	}
+	suffix := ls[end:]
+	mult := 1.0
+	switch {
+	case suffix == "":
+	case strings.HasPrefix(suffix, "meg"):
+		mult = 1e6
+	case strings.HasPrefix(suffix, "f"):
+		mult = 1e-15
+	case strings.HasPrefix(suffix, "p"):
+		mult = 1e-12
+	case strings.HasPrefix(suffix, "n"):
+		mult = 1e-9
+	case strings.HasPrefix(suffix, "u"):
+		mult = 1e-6
+	case strings.HasPrefix(suffix, "m"):
+		mult = 1e-3
+	case strings.HasPrefix(suffix, "k"):
+		mult = 1e3
+	case strings.HasPrefix(suffix, "g"):
+		mult = 1e9
+	case strings.HasPrefix(suffix, "t"):
+		mult = 1e12
+	default:
+		// Pure unit suffix such as "ohm", "v", "a", "hz", "h".
+		switch suffix {
+		case "ohm", "ohms", "v", "a", "hz", "h":
+		default:
+			return 0, fmt.Errorf("unknown suffix %q in value %q", suffix, s)
+		}
+	}
+	return num * mult, nil
+}
+
+// WriteNetlist emits the netlist in the accepted SPICE subset, suitable for
+// round-tripping through Parse.
+func WriteNetlist(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	if nl.Title != "" {
+		fmt.Fprintf(bw, "* %s\n", nl.Title)
+	}
+	for _, e := range nl.Elements {
+		fmt.Fprintf(bw, "%s %s %s %.12g\n", e.Name, e.NodePos, e.NodeNeg, e.Value)
+	}
+	if len(nl.Probes) > 0 {
+		fmt.Fprint(bw, ".probe")
+		for _, p := range nl.Probes {
+			fmt.Fprintf(bw, " v(%s)", p)
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}

@@ -1,0 +1,157 @@
+package circuit
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueSuffixes(t *testing.T) {
+	cases := map[string]float64{
+		"1":      1,
+		"1.5":    1.5,
+		"10k":    1e4,
+		"2meg":   2e6,
+		"3m":     3e-3,
+		"4u":     4e-6,
+		"5n":     5e-9,
+		"6p":     6e-12,
+		"7f":     7e-15,
+		"8g":     8e9,
+		"9t":     9e12,
+		"1e-3":   1e-3,
+		"2.5E6":  2.5e6,
+		"1.5pF":  1.5e-12,
+		"10kohm": 1e4,
+		"2v":     2,
+	}
+	for in, want := range cases {
+		got, err := ParseValue(in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Errorf("ParseValue(%q) = %g, want %g", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1.2.3", "5x"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+const sampleNetlist = `simple power grid fragment
+* a comment line
+R1 n1 n2 0.5       ; series resistance
+R2 n2 0 10
+C1 n1 0 1p
+C2 n2 0 2p
+L1 vdd n1 1n
+I1 n2 0 1m
+V1 vdd 0 1.8
+.probe v(n1) v(n2)
+.end
+`
+
+func TestParseSampleNetlist(t *testing.T) {
+	nl, err := Parse(strings.NewReader(sampleNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Title != "simple power grid fragment" {
+		t.Errorf("Title = %q", nl.Title)
+	}
+	s := nl.Stats()
+	if s.Resistors != 2 || s.Capacitors != 2 || s.Inductors != 1 ||
+		s.CurrentSources != 1 || s.VoltageSources != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if len(nl.Probes) != 2 || nl.Probes[0] != "n1" || nl.Probes[1] != "n2" {
+		t.Errorf("Probes = %v", nl.Probes)
+	}
+	m, err := BuildMNA(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: 3 node voltages + 1 inductor current + 1 vsource current.
+	if m.N() != 5 {
+		t.Errorf("N = %d, want 5", m.N())
+	}
+	if m.NumInputs() != 2 {
+		t.Errorf("inputs = %d, want 2 (I1 then V1)", m.NumInputs())
+	}
+	if m.InputNames[0] != "I1" || m.InputNames[1] != "V1" {
+		t.Errorf("InputNames = %v", m.InputNames)
+	}
+}
+
+func TestParseErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse(strings.NewReader("R1 a b 1\nR2 a b\n"))
+	if err == nil {
+		t.Fatal("short element line must fail")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("Line = %d, want 2", pe.Line)
+	}
+}
+
+func TestParseUnknownCard(t *testing.T) {
+	if _, err := Parse(strings.NewReader("R1 a 0 1\nXsub a b mysub\n")); err == nil {
+		t.Fatal("unknown card must fail after the title line")
+	}
+}
+
+func TestParseToleratesUnknownDirectives(t *testing.T) {
+	nl, err := Parse(strings.NewReader("R1 a 0 1\n.tran 1n 10n\n.option gmin=1e-12\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Stats().Resistors != 1 {
+		t.Error("resistor lost")
+	}
+}
+
+func TestWriteNetlistRoundTrip(t *testing.T) {
+	nl, err := Parse(strings.NewReader(sampleNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteNetlist(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	nl2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("round-trip parse: %v\n%s", err, buf.String())
+	}
+	if nl.Stats() != nl2.Stats() {
+		t.Errorf("round-trip stats differ: %+v vs %+v", nl.Stats(), nl2.Stats())
+	}
+	if len(nl2.Probes) != len(nl.Probes) {
+		t.Errorf("round-trip probes differ")
+	}
+	m1, err := BuildMNA(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := BuildMNA(nl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matrices must agree entrywise.
+	d1, d2 := m1.G.ToDense(), m2.G.ToDense()
+	for i := range d1 {
+		for j := range d1[i] {
+			if math.Abs(d1[i][j]-d2[i][j]) > 1e-12 {
+				t.Fatalf("G differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}

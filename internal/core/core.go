@@ -1,0 +1,258 @@
+// Package core implements BDSM — the block-diagonal structured model order
+// reduction scheme for power grid networks of Zhang, Hu, Cheng and Wong
+// (DATE 2011) — the primary contribution reproduced by this library.
+//
+// BDSM splits the input matrix B column-by-column into m rank-one splitted
+// systems Σᵢ = (C, G, Bᵢ, L) (eq. 6), reduces each with a thin n×l Krylov
+// basis V⁽ⁱ⁾ = K_l((s0C-G)⁻¹C, (s0C-G)⁻¹bᵢ) (eq. 13), and reassembles the
+// reduced blocks into one block-diagonal ROM (eq. 14) whose transfer matrix
+// matches the first l moments of H(s) column by column (eq. 15). Compared
+// with PRIMA at equal ROM size ml it:
+//
+//   - clusters orthonormalization per splitted system — m·l(l-1)/2 long
+//     vector products instead of m·l(m·l-1)/2;
+//   - produces sparse block-diagonal system matrices (m·l² nonzeros instead
+//     of O(m²l²)) that simulate in O(m·l³) instead of O(m³l³);
+//   - is input-signal independent, so the ROM is reusable across excitation
+//     patterns (unlike EKS/TBS);
+//   - matches true transfer-matrix moments (unlike terminal-reduction
+//     schemes such as SVDMOR).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/dense"
+	"repro/internal/krylov"
+	"repro/internal/lti"
+	"repro/internal/sparse"
+)
+
+// DefaultS0 is the default real expansion point. Power-grid signal content
+// concentrates below a few GHz, so the pencil is expanded at 10⁹ rad/s.
+const DefaultS0 = 1e9
+
+// DefaultMoments is the default number of matched moments per column,
+// matching the paper's ckt1 experiment (Table II).
+const DefaultMoments = 6
+
+// Options configures a BDSM reduction.
+type Options struct {
+	// S0 is the (real) Krylov expansion point. Default DefaultS0.
+	S0 float64
+	// Moments is l, the number of matched moments per column. Default
+	// DefaultMoments.
+	Moments int
+	// Points optionally selects multi-point projection: when non-empty it
+	// overrides S0 and the basis of every splitted system is the union of
+	// the Krylov spaces at each point ("the multi-point scheme
+	// straightforwardly follows", Sec. III).
+	Points []float64
+	// Backend selects LU or iterative pencil solves. The iterative backend
+	// reproduces the paper's memory-saving mode for the largest grids.
+	Backend krylov.Backend
+	// LU configures the direct backend.
+	LU sparse.LUOptions
+	// Iter configures the iterative backend.
+	Iter sparse.IterOptions
+	// Workers bounds the number of concurrent splitted-system reductions;
+	// 0 means GOMAXPROCS. The block decomposition makes this embarrassingly
+	// parallel — the structural property the paper highlights.
+	Workers int
+	// TruncTol, when positive, enables adaptive per-block order: a splitted
+	// system's Krylov chain stops early once orthogonalization leaves less
+	// than TruncTol of new direction (relative), producing blocks smaller
+	// than l for ports whose response is captured by fewer vectors. Zero
+	// keeps the paper's fixed order-l blocks (only exact deflation stops a
+	// chain).
+	TruncTol float64
+	// Stats, when non-nil, receives cost accounting for the reduction.
+	Stats *Stats
+}
+
+func (o *Options) defaults() {
+	if o.S0 == 0 {
+		o.S0 = DefaultS0
+	}
+	if o.Moments == 0 {
+		o.Moments = DefaultMoments
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Stats reports the measured cost of a reduction, making the paper's
+// complexity claims observable.
+type Stats struct {
+	// Ortho counts long vector-vector products and deflations across all
+	// splitted systems (paper: m·l(l-1)/2 single-pass equivalents).
+	Ortho dense.OrthoStats
+	// PencilSolves counts sparse pencil solves.
+	PencilSolves int
+	// FactorNNZ is the total LU fill over all expansion points (0 for the
+	// iterative backend).
+	FactorNNZ int
+	// FactorTime is the time spent factoring pencils.
+	FactorTime time.Duration
+	// ReduceTime is the time spent in Krylov iteration + congruence.
+	ReduceTime time.Duration
+	// BasisColumns is the total number of accepted basis vectors Σᵢ lᵢ.
+	BasisColumns int
+	// PeakBasisBytes estimates the peak memory held in Krylov bases:
+	// BDSM streams one splitted system per worker, so the peak is
+	// workers·n·l·8 bytes — independent of the port count m.
+	PeakBasisBytes int64
+}
+
+// Reduce runs BDSM (Algorithm 1) on the descriptor system and returns the
+// block-diagonal ROM. Splitted systems whose input column is zero contribute
+// nothing to H(s) and are skipped; columns whose Krylov space deflates early
+// yield blocks smaller than l (exact reduction of that column).
+func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
+	opts.defaults()
+	n, m, p := sys.Dims()
+	if m == 0 {
+		return nil, fmt.Errorf("core: system has no input ports")
+	}
+	points := opts.Points
+	if len(points) == 0 {
+		points = []float64{opts.S0}
+	}
+
+	// Step 2 of Algorithm 1: one sparse factorization per expansion point,
+	// shared by all m splitted systems.
+	tFactor := time.Now()
+	ops := make([]*krylov.Operator, len(points))
+	factorNNZ := 0
+	for k, s0 := range points {
+		op, err := krylov.NewOperator(sys, s0, krylov.OperatorOptions{
+			Backend: opts.Backend, LU: opts.LU, Iter: opts.Iter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: expansion point %g: %w", s0, err)
+		}
+		ops[k] = op
+		factorNNZ += op.FactorNNZ
+	}
+	factorTime := time.Since(tFactor)
+
+	// Steps 3–5: per splitted system, build the thin basis V⁽ⁱ⁾ and project.
+	// Each splitted system is independent — BDSM's cluster-and-
+	// orthonormalize flow (Fig. 2) — so they are sharded across workers.
+	tReduce := time.Now()
+	type result struct {
+		block lti.Block
+		cols  int
+		skip  bool
+		err   error
+	}
+	results := make([]result, m)
+	statsPerWorker := make([]dense.OrthoStats, opts.Workers)
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			wks := make([]*krylov.Worker, len(ops))
+			for k := range ops {
+				wks[k] = ops[k].Worker()
+			}
+			st := &statsPerWorker[worker]
+			for i := range next {
+				blk, cols, skip, err := reduceColumn(sys, wks, i, opts.Moments, opts.TruncTol, st)
+				results[i] = result{block: blk, cols: cols, skip: skip, err: err}
+			}
+		}(w)
+	}
+	for i := 0; i < m; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	bd := &lti.BlockDiagSystem{M: m, P: p}
+	basisCols := 0
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, fmt.Errorf("core: splitted system %d: %w", i, err)
+		}
+		if results[i].skip {
+			continue
+		}
+		bd.Blocks = append(bd.Blocks, results[i].block)
+		basisCols += results[i].cols
+	}
+	if len(bd.Blocks) == 0 {
+		return nil, fmt.Errorf("core: input matrix B is zero; nothing to reduce")
+	}
+	reduceTime := time.Since(tReduce)
+
+	if opts.Stats != nil {
+		st := opts.Stats
+		for i := range statsPerWorker {
+			st.Ortho.DotProducts += statsPerWorker[i].DotProducts
+			st.Ortho.Deflated += statsPerWorker[i].Deflated
+		}
+		solves := 0
+		for _, op := range ops {
+			solves += op.Solves()
+		}
+		st.PencilSolves += solves
+		st.FactorNNZ += factorNNZ
+		st.FactorTime += factorTime
+		st.ReduceTime += reduceTime
+		st.BasisColumns += basisCols
+		st.PeakBasisBytes = int64(opts.Workers) * int64(n) *
+			int64(opts.Moments*len(points)) * 8
+	}
+	return bd, nil
+}
+
+// reduceColumn builds the Krylov basis of splitted system Σᵢ across all
+// expansion points and projects it into a diagonal block. It streams: the
+// basis is dropped as soon as the block is formed, so peak memory is one
+// n×l panel per worker regardless of the port count.
+func reduceColumn(sys *lti.SparseSystem, wks []*krylov.Worker, i, l int,
+	truncTol float64, st *dense.OrthoStats) (blk lti.Block, cols int, skip bool, err error) {
+
+	chainTol := dense.DeflationTol
+	if truncTol > chainTol {
+		chainTol = truncTol
+	}
+	n, _, _ := sys.Dims()
+	basis := dense.NewBasis[float64](n, st)
+	w := make([]float64, n)
+	for _, wk := range wks {
+		// r = (s0C - G)⁻¹ bᵢ; a zero bᵢ yields a zero start vector which
+		// deflates immediately.
+		r, err := wk.StartColumn(i)
+		if err != nil {
+			return lti.Block{}, 0, false, err
+		}
+		// Arnoldi-style chain: iterate A on the last accepted orthonormal
+		// vector. Algorithm 1 iterates the raw vectors A^j r; both span the
+		// same Krylov subspace in exact arithmetic, and the orthonormalized
+		// recurrence is the numerically robust realization of it. The start
+		// vector always uses the exact-deflation threshold; chain vectors
+		// honor the adaptive truncation tolerance.
+		accepted := basis.Append(r)
+		last := basis.Len() - 1
+		for j := 1; j < l && accepted; j++ {
+			if err := wk.Apply(w, basis.Col(last)); err != nil {
+				return lti.Block{}, 0, false, err
+			}
+			accepted = basis.AppendTol(w, chainTol)
+			last = basis.Len() - 1
+		}
+	}
+	if basis.Len() == 0 {
+		return lti.Block{}, 0, true, nil
+	}
+	return krylov.CongruenceBlock(sys, basis, i), basis.Len(), false, nil
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestBDSMTruncTolShrinksBlocks exercises the adaptive-order extension: a
+// loose truncation tolerance must produce a strictly smaller ROM while the
+// transfer function stays close to the exact one near the expansion point.
+func TestBDSMTruncTolShrinksBlocks(t *testing.T) {
+	sys := testGrid(t, 9, 8, 2, 6)
+	l := 8
+	full, err := Reduce(sys, Options{Moments: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc, err := Reduce(sys, Options{Moments: l, TruncTol: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qf, _, _ := full.Dims()
+	qt, _, _ := trunc.Dims()
+	if qt >= qf {
+		t.Fatalf("truncation did not engage: q=%d of %d", qt, qf)
+	}
+	// The truncated ROM must remain a tight approximation in-band.
+	s := complex(0, 5e8)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := trunc.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := maxAbsDiff(hx, ht) / hx.MaxAbs(); e > 1e-4 {
+		t.Fatalf("truncated ROM (q=%d of %d) error %.3e too large", qt, qf, e)
+	}
+	t.Logf("order %d → %d at in-band error < 1e-4", qf, qt)
+}
+
+// TestBDSMTruncTolZeroKeepsPaperBehaviour guards the default: without
+// TruncTol every block has exactly l columns (no accidental truncation).
+func TestBDSMTruncTolZeroKeepsPaperBehaviour(t *testing.T) {
+	sys := testGrid(t, 8, 8, 1, 5)
+	l := 6
+	rom, err := Reduce(sys, Options{Moments: l})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blk := range rom.Blocks {
+		if blk.Order() != l {
+			t.Errorf("block %d order %d, want %d", i, blk.Order(), l)
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dense
+
+import (
+	"repro/internal/sparse"
+)
+
+// DeflationTol is the default relative threshold below which a candidate
+// basis vector is declared linearly dependent (deflated) during
+// orthonormalization: if orthogonalization shrinks the vector's norm below
+// DeflationTol times its original norm, the vector carries no new direction.
+const DeflationTol = 1e-10
+
+// OrthoStats counts the long vector–vector products spent in
+// orthonormalization. The paper's central cost argument (Sec. III-B) is that
+// BDSM needs m·l(l-1)/2 of these where PRIMA needs m·l(m·l-1)/2; the counters
+// make that claim measurable.
+type OrthoStats struct {
+	// DotProducts counts inner products of length-n vectors (projections and
+	// reorthogonalization passes both count).
+	DotProducts int64
+	// Deflated counts candidate vectors dropped as linearly dependent.
+	Deflated int64
+}
+
+// Basis is a growing set of mutually orthonormal length-n column vectors,
+// maintained with modified Gram–Schmidt and one reorthogonalization pass
+// (the "twice is enough" rule of Kahan/Parlett).
+type Basis[T sparse.Scalar] struct {
+	n     int
+	cols  [][]T
+	stats *OrthoStats
+}
+
+// NewBasis returns an empty basis for vectors of length n. If stats is
+// non-nil, orthonormalization work is accumulated into it.
+func NewBasis[T sparse.Scalar](n int, stats *OrthoStats) *Basis[T] {
+	return &Basis[T]{n: n, stats: stats}
+}
+
+// Len returns the number of basis vectors.
+func (b *Basis[T]) Len() int { return len(b.cols) }
+
+// N returns the vector length.
+func (b *Basis[T]) N() int { return b.n }
+
+// Col returns the i-th basis vector (shared storage; callers must not
+// modify it).
+func (b *Basis[T]) Col(i int) []T { return b.cols[i] }
+
+// Append orthonormalizes v against the basis and appends the result.
+// It reports whether the vector was accepted; a vector that is (numerically)
+// in the span of the basis is deflated and not appended. v is not modified.
+func (b *Basis[T]) Append(v []T) bool {
+	return b.AppendTol(v, DeflationTol)
+}
+
+// AppendTol is Append with a caller-chosen relative deflation threshold:
+// the candidate is rejected when orthogonalization leaves less than
+// tol·‖v‖ of new direction. Thresholds well above DeflationTol implement
+// adaptive truncation — dropping directions that contribute little, not
+// only exact linear dependence.
+func (b *Basis[T]) AppendTol(v []T, tol float64) bool {
+	if len(v) != b.n {
+		panic("dense: Basis.Append length mismatch")
+	}
+	w := append([]T(nil), v...)
+	norm0 := sparse.Nrm2(w)
+	if norm0 == 0 {
+		if b.stats != nil {
+			b.stats.Deflated++
+		}
+		return false
+	}
+	// Two MGS passes for numerical orthogonality.
+	for pass := 0; pass < 2; pass++ {
+		for _, q := range b.cols {
+			h := sparse.DotConj(q, w)
+			sparse.Axpy(w, -h, q)
+			if b.stats != nil {
+				b.stats.DotProducts++
+			}
+		}
+	}
+	norm := sparse.Nrm2(w)
+	if norm <= tol*norm0 {
+		if b.stats != nil {
+			b.stats.Deflated++
+		}
+		return false
+	}
+	sparse.ScaleVec(w, sparse.FromFloat[T](1/norm))
+	b.cols = append(b.cols, w)
+	return true
+}
+
+// Mat returns the basis as an n×k dense matrix (columns are basis vectors).
+func (b *Basis[T]) Mat() *Mat[T] {
+	m := NewMat[T](b.n, len(b.cols))
+	for j, c := range b.cols {
+		m.SetCol(j, c)
+	}
+	return m
+}
+
+// Cols returns the underlying column slices (shared storage).
+func (b *Basis[T]) Cols() [][]T { return b.cols }

@@ -1,0 +1,176 @@
+package dense
+
+import (
+	"math"
+
+	"repro/internal/sparse"
+)
+
+// QR computes a thin Householder QR factorization A = Q·R of an m×n matrix
+// with m ≥ n: Q is m×n with orthonormal columns and R is n×n upper
+// triangular.
+func QR[T sparse.Scalar](a *Mat[T]) (q, r *Mat[T]) {
+	m, n := a.Rows, a.Cols
+	if m < n {
+		panic("dense: QR requires rows ≥ cols")
+	}
+	work := a.Clone()
+	vs := make([][]T, 0, n) // Householder vectors
+
+	for k := 0; k < n; k++ {
+		// Build the Householder vector for column k below the diagonal.
+		x := make([]T, m-k)
+		for i := k; i < m; i++ {
+			x[i-k] = work.At(i, k)
+		}
+		alpha := sparse.Nrm2(x)
+		if alpha == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		// v = x + sign(x0)·‖x‖·e1 with complex sign x0/|x0|.
+		var s T
+		if sparse.IsZero(x[0]) {
+			s = sparse.FromFloat[T](1)
+		} else {
+			s = x[0] * sparse.FromFloat[T](1/sparse.Abs(x[0]))
+		}
+		x[0] += s * sparse.FromFloat[T](alpha)
+		vn := sparse.Nrm2(x)
+		if vn == 0 {
+			vs = append(vs, nil)
+			continue
+		}
+		sparse.ScaleVec(x, sparse.FromFloat[T](1/vn))
+		vs = append(vs, x)
+		// Apply P = I - 2 v vᴴ to work[k:, k:].
+		for j := k; j < n; j++ {
+			var h T
+			for i := k; i < m; i++ {
+				h += sparse.Conj(x[i-k]) * work.At(i, j)
+			}
+			h *= sparse.FromFloat[T](2)
+			for i := k; i < m; i++ {
+				work.Set(i, j, work.At(i, j)-x[i-k]*h)
+			}
+		}
+	}
+
+	r = NewMat[T](n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, work.At(i, j))
+		}
+	}
+	// Form thin Q by applying the Householder reflectors to the first n
+	// columns of the identity, in reverse order.
+	q = NewMat[T](m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, sparse.FromFloat[T](1))
+	}
+	for k := n - 1; k >= 0; k-- {
+		v := vs[k]
+		if v == nil {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			var h T
+			for i := k; i < m; i++ {
+				h += sparse.Conj(v[i-k]) * q.At(i, j)
+			}
+			h *= sparse.FromFloat[T](2)
+			for i := k; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-v[i-k]*h)
+			}
+		}
+	}
+	return q, r
+}
+
+// SVD computes the full thin singular value decomposition A = U·diag(s)·Vᵀ
+// of a real m×n matrix using one-sided Jacobi rotations. U is m×k and V is
+// n×k with k = min(m, n); singular values are returned in descending order.
+func SVD(a *Mat[float64]) (u *Mat[float64], s []float64, v *Mat[float64]) {
+	if a.Rows < a.Cols {
+		// Factor the transpose and swap factors: A = U S Vᵀ ⇔ Aᵀ = V S Uᵀ.
+		vt, st, ut := SVD(a.T())
+		return ut, st, vt
+	}
+	m, n := a.Rows, a.Cols
+	w := a.Clone()
+	vm := Eye[float64](n)
+
+	const maxSweeps = 60
+	tol := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					app += wp * wp
+					aqq += wq * wq
+					apq += wp * wq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				off += math.Abs(apq)
+				// Jacobi rotation zeroing the (p,q) entry of AᵀA.
+				zeta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				sn := c * t
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wp-sn*wq)
+					w.Set(i, q, sn*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := vm.At(i, p), vm.At(i, q)
+					vm.Set(i, p, c*vp-sn*vq)
+					vm.Set(i, q, sn*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+
+	// Column norms are the singular values.
+	s = make([]float64, n)
+	u = NewMat[float64](m, n)
+	type sv struct {
+		val float64
+		idx int
+	}
+	svs := make([]sv, n)
+	for j := 0; j < n; j++ {
+		norm := 0.0
+		for i := 0; i < m; i++ {
+			norm += w.At(i, j) * w.At(i, j)
+		}
+		svs[j] = sv{math.Sqrt(norm), j}
+	}
+	// Sort descending by singular value (insertion sort; n is small).
+	for i := 1; i < n; i++ {
+		for k := i; k > 0 && svs[k].val > svs[k-1].val; k-- {
+			svs[k], svs[k-1] = svs[k-1], svs[k]
+		}
+	}
+	v = NewMat[float64](n, n)
+	for out, e := range svs {
+		s[out] = e.val
+		for i := 0; i < m; i++ {
+			if e.val > 0 {
+				u.Set(i, out, w.At(i, e.idx)/e.val)
+			}
+		}
+		for i := 0; i < n; i++ {
+			v.Set(i, out, vm.At(i, e.idx))
+		}
+	}
+	return u, s, v
+}

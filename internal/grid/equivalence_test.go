@@ -1,0 +1,95 @@
+package grid
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/lti"
+)
+
+// TestNetlistAndDirectTransferEquivalence is the strongest generator
+// cross-check: the SPICE-netlist path (string netlist → parser-grade model →
+// circuit.BuildMNA) and the direct stamping path (Config.Build) use
+// different state orderings and assembly code, but must realize the same
+// transfer matrix H(s) at every frequency.
+func TestNetlistAndDirectTransferEquivalence(t *testing.T) {
+	for _, rcOnly := range []bool{false, true} {
+		cfg := Config{Name: "eq", NX: 5, NY: 4, Layers: 2, Ports: 3, Pads: 2,
+			SheetR: 0.05, LayerRScale: 2, ViaR: 0.5, ViaPitch: 2, NodeC: 50e-15,
+			PadR: 0.1, PadL: 0.5e-9, Variation: 0.2, Seed: 99, RCOnly: rcOnly}
+
+		direct, err := cfg.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysDirect, err := lti.NewSparseSystem(direct.C, direct.G, direct.B, direct.L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nl, err := cfg.Netlist()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mna, err := circuit.BuildMNA(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sysNetlist, err := lti.NewSparseSystem(mna.C, mna.G, mna.B, mna.L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n1, m1, p1 := sysDirect.Dims()
+		n2, m2, p2 := sysNetlist.Dims()
+		if n1 != n2 || m1 != m2 || p1 != p2 {
+			t.Fatalf("rcOnly=%v: dims differ: %d/%d/%d vs %d/%d/%d", rcOnly, n1, m1, p1, n2, m2, p2)
+		}
+		for _, w := range []float64{1e5, 1e8, 3e9, 1e11, 1e13} {
+			s := complex(0, w)
+			h1, err := sysDirect.Eval(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h2, err := sysNetlist.Eval(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Port ordering: both paths enumerate load ports in creation
+			// order (Iload0, Iload1, ...), and outputs are the probes in the
+			// same order, so H entries must agree elementwise.
+			for i := 0; i < p1; i++ {
+				for j := 0; j < m1; j++ {
+					d := cmplx.Abs(h1.At(i, j) - h2.At(i, j))
+					if d > 1e-9*(1+cmplx.Abs(h1.At(i, j))) {
+						t.Fatalf("rcOnly=%v ω=%g: H[%d][%d] differs: %v vs %v",
+							rcOnly, w, i, j, h1.At(i, j), h2.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRCOnlyGridHasNoInductorStates(t *testing.T) {
+	cfg := Config{Name: "rc", NX: 5, NY: 5, Layers: 1, Ports: 3, Pads: 2,
+		SheetR: 0.05, LayerRScale: 2, ViaR: 0.5, ViaPitch: 2, NodeC: 50e-15,
+		PadR: 0.1, PadL: 0.5e-9, Variation: 0, Seed: 1, RCOnly: true}
+	m, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 25 {
+		t.Fatalf("N = %d, want 25 (grid nodes only)", m.N)
+	}
+	if m.N != cfg.NumNodes() {
+		t.Fatalf("NumNodes() = %d disagrees with built N = %d", cfg.NumNodes(), m.N)
+	}
+	// C must be diagonal (pure node capacitances).
+	for i := 0; i < m.N; i++ {
+		for k := m.C.RowPtr[i]; k < m.C.RowPtr[i+1]; k++ {
+			if m.C.ColIdx[k] != i {
+				t.Fatal("RC-only C matrix has off-diagonal entries")
+			}
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package grid
+
+import "testing"
+
+func TestNumNodesMatchesBuild(t *testing.T) {
+	for _, rc := range []bool{false, true} {
+		cfg := smallConfig()
+		cfg.RCOnly = rc
+		m, err := cfg.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.N != cfg.NumNodes() {
+			t.Fatalf("rcOnly=%v: NumNodes=%d built N=%d", rc, cfg.NumNodes(), m.N)
+		}
+	}
+}

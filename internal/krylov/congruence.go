@@ -1,0 +1,85 @@
+package krylov
+
+import (
+	"repro/internal/dense"
+	"repro/internal/lti"
+	"repro/internal/sparse"
+)
+
+// Congruence projects the sparse descriptor system through the basis V:
+//
+//	Cr = Vᵀ C V,  Gr = Vᵀ G V,  Br = Vᵀ B,  Lr = L V,
+//
+// the one-sided (W = V) projection used throughout the paper, which
+// preserves passivity for MNA-structured RLC models (PRIMA's key property).
+func Congruence(sys *lti.SparseSystem, v *dense.Basis[float64]) *lti.DenseSystem {
+	n, m, p := sys.Dims()
+	q := v.Len()
+
+	// CV and GV as dense n×q buffers, one sparse MatVec per column.
+	cv := make([][]float64, q)
+	gv := make([][]float64, q)
+	for j := 0; j < q; j++ {
+		cv[j] = make([]float64, n)
+		gv[j] = make([]float64, n)
+		sys.C.MatVec(cv[j], v.Col(j))
+		sys.G.MatVec(gv[j], v.Col(j))
+	}
+	cr := dense.NewMat[float64](q, q)
+	gr := dense.NewMat[float64](q, q)
+	for i := 0; i < q; i++ {
+		vi := v.Col(i)
+		for j := 0; j < q; j++ {
+			cr.Set(i, j, sparse.Dot(vi, cv[j]))
+			gr.Set(i, j, sparse.Dot(vi, gv[j]))
+		}
+	}
+	br := dense.NewMat[float64](q, m)
+	for j := 0; j < m; j++ {
+		bj := sys.BColumn(j)
+		for i := 0; i < q; i++ {
+			br.Set(i, j, sparse.Dot(v.Col(i), bj))
+		}
+	}
+	lr := dense.NewMat[float64](p, q)
+	for j := 0; j < q; j++ {
+		lv := sys.ApplyL(v.Col(j))
+		lr.SetCol(j, lv)
+	}
+	rom, err := lti.NewDenseSystem(cr, gr, br, lr)
+	if err != nil {
+		// Dimensions are correct by construction.
+		panic("krylov: impossible congruence dimension error: " + err.Error())
+	}
+	return rom
+}
+
+// CongruenceBlock projects the splitted system Σᵢ through its thin basis
+// V⁽ⁱ⁾ into a BDSM diagonal block (eq. 11): Cir = V⁽ⁱ⁾ᵀCV⁽ⁱ⁾,
+// Gir = V⁽ⁱ⁾ᵀGV⁽ⁱ⁾, Bir = V⁽ⁱ⁾ᵀbᵢ, Lir = L·V⁽ⁱ⁾.
+func CongruenceBlock(sys *lti.SparseSystem, v *dense.Basis[float64], input int) lti.Block {
+	n, _, p := sys.Dims()
+	l := v.Len()
+	cv := make([]float64, n)
+	gv := make([]float64, n)
+	cr := dense.NewMat[float64](l, l)
+	gr := dense.NewMat[float64](l, l)
+	for j := 0; j < l; j++ {
+		sys.C.MatVec(cv, v.Col(j))
+		sys.G.MatVec(gv, v.Col(j))
+		for i := 0; i < l; i++ {
+			cr.Set(i, j, sparse.Dot(v.Col(i), cv))
+			gr.Set(i, j, sparse.Dot(v.Col(i), gv))
+		}
+	}
+	bi := sys.BColumn(input)
+	br := make([]float64, l)
+	for i := 0; i < l; i++ {
+		br[i] = sparse.Dot(v.Col(i), bi)
+	}
+	lr := dense.NewMat[float64](p, l)
+	for j := 0; j < l; j++ {
+		lr.SetCol(j, sys.ApplyL(v.Col(j)))
+	}
+	return lti.Block{C: cr, G: gr, B: br, L: lr, Input: input}
+}

@@ -1,0 +1,81 @@
+package lti
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+func TestBlockDiagPolesMatchAssembled(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	bd := randomBlockDiag(rng, 3, 2, 3)
+	pb, err := bd.Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := bd.ToDense().Poles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pb) != len(pd) {
+		t.Fatalf("pole counts differ: %d vs %d", len(pb), len(pd))
+	}
+	sortPoles(pd)
+	for i := range pb {
+		if d := pb[i] - pd[i]; math.Hypot(real(d), imag(d)) > 1e-7*(1+math.Hypot(real(pd[i]), imag(pd[i]))) {
+			t.Fatalf("pole %d differs: %v vs %v", i, pb[i], pd[i])
+		}
+	}
+}
+
+func TestBlockDiagStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	bd := randomBlockDiag(rng, 2, 2, 2)
+	ok, err := bd.Stable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Skip("random system happened to be unstable; stability covered below")
+	}
+	// Force instability in one block.
+	bd.Blocks[0].G = dense.Eye[float64](2) // positive eigenvalues
+	ok, err = bd.Stable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unstable block not detected")
+	}
+}
+
+func TestDCGainMatchesAnalytic(t *testing.T) {
+	// Scalar RC: H(0) = r.
+	r, c := 75.0, 1e-9
+	sys := rcSystem(t, r, c)
+	g, err := sys.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.At(0, 0)-r) > 1e-9*r {
+		t.Fatalf("DC gain %g, want %g", g.At(0, 0), r)
+	}
+	// Block-diag ROM of the same system must agree.
+	bd := &BlockDiagSystem{M: 1, P: 1}
+	cm := dense.NewMat[float64](1, 1)
+	cm.Set(0, 0, c)
+	gm := dense.NewMat[float64](1, 1)
+	gm.Set(0, 0, -1/r)
+	lm := dense.NewMat[float64](1, 1)
+	lm.Set(0, 0, 1)
+	bd.Blocks = append(bd.Blocks, Block{C: cm, G: gm, B: []float64{1}, L: lm, Input: 0})
+	gr, err := bd.DCGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gr.At(0, 0)-r) > 1e-9*r {
+		t.Fatalf("ROM DC gain %g, want %g", gr.At(0, 0), r)
+	}
+}

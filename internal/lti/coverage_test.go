@@ -1,0 +1,70 @@
+package lti
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestBlockDiagEvalColumn(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	bd := randomBlockDiag(rng, 4, 3, 2)
+	s := complex(0.1, 2.0)
+	h, err := bd.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 4; j++ {
+		col, err := bd.EvalColumn(s, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range col {
+			if cmplx.Abs(col[i]-h.At(i, j)) > 1e-12*(1+cmplx.Abs(h.At(i, j))) {
+				t.Fatalf("EvalColumn(%d)[%d] = %v, want %v", j, i, col[i], h.At(i, j))
+			}
+		}
+	}
+	// EvalEntry must route through the column evaluator.
+	got, err := EvalEntry(bd, s, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(got-h.At(1, 2)) > 1e-12*(1+cmplx.Abs(h.At(1, 2))) {
+		t.Fatalf("EvalEntry = %v, want %v", got, h.At(1, 2))
+	}
+}
+
+func TestDenseSystemDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	d := randomBlockDiag(rng, 2, 3, 2).ToDense()
+	n, m, p := d.Dims()
+	if n != 4 || m != 2 || p != 3 {
+		t.Fatalf("Dims = %d/%d/%d", n, m, p)
+	}
+}
+
+func TestImpedanceViewNegatesTransfer(t *testing.T) {
+	sys := rcSystem(t, 50, 1e-9)
+	neg := sys.ImpedanceView()
+	s := complex(0, 1e7)
+	h1, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := neg.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(h1.At(0, 0)+h2.At(0, 0)) > 1e-15 {
+		t.Fatalf("ImpedanceView did not negate: %v vs %v", h1.At(0, 0), h2.At(0, 0))
+	}
+	// Original system untouched.
+	h3, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.At(0, 0) != h1.At(0, 0) {
+		t.Fatal("ImpedanceView mutated the original system")
+	}
+}

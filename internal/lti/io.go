@@ -1,0 +1,93 @@
+package lti
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dense"
+)
+
+// The gob wire types deliberately mirror the public structs field-for-field
+// so the on-disk format is stable against internal refactors.
+
+type gobMat struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+func toGobMat(m *dense.Mat[float64]) gobMat {
+	return gobMat{Rows: m.Rows, Cols: m.Cols, Data: m.Data}
+}
+
+func fromGobMat(g gobMat) *dense.Mat[float64] {
+	return &dense.Mat[float64]{Rows: g.Rows, Cols: g.Cols, Data: g.Data}
+}
+
+type gobBlock struct {
+	C, G, L gobMat
+	B       []float64
+	Input   int
+}
+
+type gobBlockDiag struct {
+	Blocks []gobBlock
+	M, P   int
+}
+
+// SaveBlockDiag serializes a block-diagonal ROM. A saved ROM is the paper's
+// "reusable" artifact: build once, simulate under arbitrarily many input
+// patterns later (Sec. I criterion 2).
+func SaveBlockDiag(w io.Writer, bd *BlockDiagSystem) error {
+	if err := bd.Validate(); err != nil {
+		return fmt.Errorf("lti: refusing to save invalid ROM: %w", err)
+	}
+	g := gobBlockDiag{M: bd.M, P: bd.P}
+	for i := range bd.Blocks {
+		b := &bd.Blocks[i]
+		g.Blocks = append(g.Blocks, gobBlock{
+			C: toGobMat(b.C), G: toGobMat(b.G), L: toGobMat(b.L),
+			B: b.B, Input: b.Input,
+		})
+	}
+	return gob.NewEncoder(w).Encode(&g)
+}
+
+// LoadBlockDiag deserializes a block-diagonal ROM saved by SaveBlockDiag.
+func LoadBlockDiag(r io.Reader) (*BlockDiagSystem, error) {
+	var g gobBlockDiag
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("lti: decoding ROM: %w", err)
+	}
+	bd := &BlockDiagSystem{M: g.M, P: g.P}
+	for i := range g.Blocks {
+		gb := &g.Blocks[i]
+		bd.Blocks = append(bd.Blocks, Block{
+			C: fromGobMat(gb.C), G: fromGobMat(gb.G), L: fromGobMat(gb.L),
+			B: gb.B, Input: gb.Input,
+		})
+	}
+	if err := bd.Validate(); err != nil {
+		return nil, fmt.Errorf("lti: loaded ROM invalid: %w", err)
+	}
+	return bd, nil
+}
+
+type gobDense struct {
+	C, G, B, L gobMat
+}
+
+// SaveDense serializes a dense descriptor ROM.
+func SaveDense(w io.Writer, d *DenseSystem) error {
+	g := gobDense{C: toGobMat(d.C), G: toGobMat(d.G), B: toGobMat(d.B), L: toGobMat(d.L)}
+	return gob.NewEncoder(w).Encode(&g)
+}
+
+// LoadDense deserializes a dense descriptor ROM saved by SaveDense.
+func LoadDense(r io.Reader) (*DenseSystem, error) {
+	var g gobDense
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("lti: decoding ROM: %w", err)
+	}
+	return NewDenseSystem(fromGobMat(g.C), fromGobMat(g.G), fromGobMat(g.B), fromGobMat(g.L))
+}

@@ -1,0 +1,70 @@
+package lti
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+)
+
+// TestSplittingAdditivityProperty verifies eq. (7) of the paper on random
+// systems: H(s) = Σᵢ Hᵢ(s), where Hᵢ is the transfer matrix of the splitted
+// system Σᵢ = (C, G, Bᵢ, L) whose input matrix keeps only column i of B.
+// This is the identity that makes column-by-column moment matching exact.
+func TestSplittingAdditivityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, m, p := 3+rng.Intn(8), 1+rng.Intn(4), 1+rng.Intn(3)
+		sys := randomStableSparse(rng, n, m, p)
+		s := complex(rng.NormFloat64(), cmplxFreq(rng))
+
+		h, err := sys.Eval(s)
+		if err != nil {
+			return false
+		}
+		// Sum of splitted-system transfer matrices.
+		bcsr := sys.B.ToCSR()
+		sum := make([]complex128, p*m)
+		for i := 0; i < m; i++ {
+			bi := sparse.NewCOO[float64](n, m)
+			for r := 0; r < n; r++ {
+				v := bcsr.At(r, i)
+				if v != 0 {
+					bi.Add(r, i, v)
+				}
+			}
+			split, err := NewSparseSystem(sys.C, sys.G, bi.ToCSR(), sys.L)
+			if err != nil {
+				return false
+			}
+			hi, err := split.Eval(s)
+			if err != nil {
+				return false
+			}
+			// Hᵢ must be zero outside column i.
+			for r := 0; r < p; r++ {
+				for c := 0; c < m; c++ {
+					if c != i && hi.At(r, c) != 0 {
+						return false
+					}
+					sum[r*m+c] += hi.At(r, c)
+				}
+			}
+		}
+		for k, v := range h.Data {
+			if cmplx.Abs(v-sum[k]) > 1e-9*(1+cmplx.Abs(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func cmplxFreq(rng *rand.Rand) float64 {
+	return 1e6 * (1 + 9*rng.Float64())
+}

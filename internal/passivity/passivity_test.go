@@ -1,0 +1,295 @@
+package passivity
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/grid"
+	"repro/internal/krylov"
+	"repro/internal/lti"
+)
+
+// impedanceGrid builds a small power grid whose transfer matrix is the m×m
+// port impedance (L selects port nodes, B injects at port nodes) — a passive
+// immittance system by construction.
+func impedanceGrid(t *testing.T, ports int) *lti.SparseSystem {
+	t.Helper()
+	cfg := grid.Config{Name: "t", NX: 7, NY: 7, Layers: 2, Ports: ports, Pads: 2,
+		SheetR: 0.05, LayerRScale: 2, ViaR: 0.5, ViaPitch: 3, NodeC: 50e-15,
+		PadR: 0.1, PadL: 0.5e-9, Variation: 0.2, Seed: 5}
+	m, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip B so that H(s) is the positive port impedance matrix: the grid
+	// generator's loads draw current out of the node (B = -selection), so
+	// negate to get the standard +injection convention for immittance tests.
+	b := m.B.Clone()
+	b.Scale(-1)
+	sys, err := lti.NewSparseSystem(m.C, m.G, b, m.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestBDSMROMPassivityWorkflow exercises the full Sec. III-D pipeline. The
+// paper warns that BDSM ROMs "may be (weakly) non-passive" — unlike PRIMA,
+// Lr ≠ Brᵀ across blocks, so congruence passivity does not carry over. The
+// workflow must (a) find stable poles, (b) detect at most a weak violation,
+// and (c) repair any violation with the low-cost enforcement.
+func TestBDSMROMPassivityWorkflow(t *testing.T) {
+	sys := impedanceGrid(t, 4)
+	rom, err := core.Reduce(sys, core.Options{Moments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := ToStandard(rom.ToDense())
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := Diagonalize(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Stable() {
+		t.Fatal("BDSM impedance ROM has unstable poles")
+	}
+	opts := CheckOptions{Samples: 120}
+	rep, err := Check(rom, diag.Poles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passive {
+		return // non-passivity "seldom occurs" — fine.
+	}
+	// Any violation must be weak (small relative to the DC impedance level)…
+	h0, err := rom.Eval(complex(0, 1e5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scale := h0.MaxAbs(); -rep.WorstEig > 1e-2*scale {
+		t.Fatalf("violation %.3e at ω=%.3e is not weak (scale %.3e)",
+			rep.WorstEig, rep.WorstFrequency, scale)
+	}
+	// …and the enforcement must repair it without touching the poles.
+	fixed := EnforceDTerm(std, rep, 1e-9)
+	rep2, err := Check(fixed, diag.Poles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Passive {
+		t.Fatalf("enforcement failed: worst %.3e at ω=%.3e", rep2.WorstEig, rep2.WorstFrequency)
+	}
+}
+
+// TestPRIMAROMIsProvablyPassive contrasts BDSM: PRIMA's congruence with
+// L = Bᵀ yields Lr = Brᵀ, Cr ⪰ 0, Gr + Grᵀ ⪯ 0 — the classical sufficient
+// conditions — so the sampled check must pass outright.
+func TestPRIMAROMIsProvablyPassive(t *testing.T) {
+	sys := impedanceGrid(t, 4)
+	rom, err := baselinePRIMA(t, sys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std, err := ToStandard(rom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := Diagonalize(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Stable() {
+		t.Fatal("PRIMA impedance ROM unstable")
+	}
+	rep, err := Check(rom, diag.Poles, CheckOptions{Samples: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passive {
+		t.Fatalf("PRIMA ROM non-passive: worst %.3e at ω=%.3e", rep.WorstEig, rep.WorstFrequency)
+	}
+}
+
+func TestDiagonalizeReproducesTransfer(t *testing.T) {
+	sys := impedanceGrid(t, 3)
+	rom, err := core.Reduce(sys, core.Options{Moments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blk := &rom.Blocks[0]
+	std, err := BlockToStandard(blk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := Diagonalize(std)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []float64{1e6, 1e9, 1e11} {
+		s := complex(0, w)
+		h1, err := std.Eval(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2 := diag.Eval(s)
+		for i := range h1.Data {
+			if cmplx.Abs(h1.Data[i]-h2.Data[i]) > 1e-7*(1+cmplx.Abs(h1.Data[i])) {
+				t.Fatalf("diagonal realization differs at ω=%g", w)
+			}
+		}
+	}
+}
+
+// baselinePRIMA builds a PRIMA ROM via block Arnoldi + congruence.
+func baselinePRIMA(t *testing.T, sys *lti.SparseSystem, l int) (*lti.DenseSystem, error) {
+	t.Helper()
+	op, err := krylov.NewOperator(sys, 1e9, krylov.OperatorOptions{})
+	if err != nil {
+		return nil, err
+	}
+	r, err := op.StartBlock()
+	if err != nil {
+		return nil, err
+	}
+	basis, err := krylov.BlockArnoldi(op, r, l, nil)
+	if err != nil {
+		return nil, err
+	}
+	return krylov.Congruence(sys, basis), nil
+}
+
+// negativeResistorSystem is a deliberately non-passive 1-port: a parallel
+// RC with negative conductance G = +g (paper convention G stores -G_std, so
+// positive means an active element).
+func negativeResistorSystem(t *testing.T) *StandardSystem {
+	t.Helper()
+	// x' = a x + b u with a < 0 (stable) but H(jω) with negative real part:
+	// H(s) = c·b/(s - a) + d, choose c·b < 0, d small negative at DC.
+	a := dense.NewMat[float64](1, 1)
+	a.Set(0, 0, -1)
+	b := dense.NewMat[float64](1, 1)
+	b.Set(0, 0, 1)
+	c := dense.NewMat[float64](1, 1)
+	c.Set(0, 0, -2) // residue -2 → Re H(j0) = -2 < 0: non-passive
+	return &StandardSystem{A: a, B: b, C: c}
+}
+
+func TestCheckDetectsNonPassive(t *testing.T) {
+	s := negativeResistorSystem(t)
+	poles := []complex128{-1}
+	rep, err := Check(s, poles, CheckOptions{WMin: 1e-2, WMax: 1e2, Samples: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Passive {
+		t.Fatal("non-passive system reported passive")
+	}
+	if rep.WorstEig >= 0 {
+		t.Fatal("worst eigenvalue not negative")
+	}
+}
+
+func TestEnforceDTermRestoresPassivity(t *testing.T) {
+	s := negativeResistorSystem(t)
+	poles := []complex128{-1}
+	opts := CheckOptions{WMin: 1e-2, WMax: 1e2, Samples: 60}
+	rep, err := Check(s, poles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := EnforceDTerm(s, rep, 1e-6)
+	rep2, err := Check(fixed, poles, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Passive {
+		t.Fatalf("enforced system still non-passive: worst %.3e", rep2.WorstEig)
+	}
+	// Enforcement must not move poles.
+	if fixed.A.At(0, 0) != s.A.At(0, 0) {
+		t.Error("enforcement perturbed A")
+	}
+}
+
+func TestEnforceDTermNoOpOnPassive(t *testing.T) {
+	// Passive 1-port: H(s) = 1/(s+1).
+	a := dense.NewMat[float64](1, 1)
+	a.Set(0, 0, -1)
+	b := dense.NewMat[float64](1, 1)
+	b.Set(0, 0, 1)
+	c := dense.NewMat[float64](1, 1)
+	c.Set(0, 0, 1)
+	s := &StandardSystem{A: a, B: b, C: c}
+	rep, err := Check(s, []complex128{-1}, CheckOptions{WMin: 1e-2, WMax: 1e2, Samples: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passive {
+		t.Fatal("passive RC reported non-passive")
+	}
+	if got := EnforceDTerm(s, rep, 0); got != s {
+		t.Error("enforcement modified an already-passive system")
+	}
+}
+
+func TestHamiltonianFindsCrossings(t *testing.T) {
+	// H(s) = 1 - 2/(s+1): Re H(jω) = 1 - 2/(1+ω²), zero crossing at ω = 1.
+	a := dense.NewMat[float64](1, 1)
+	a.Set(0, 0, -1)
+	b := dense.NewMat[float64](1, 1)
+	b.Set(0, 0, 1)
+	c := dense.NewMat[float64](1, 1)
+	c.Set(0, 0, -2)
+	d := dense.NewMat[float64](1, 1)
+	d.Set(0, 0, 1)
+	s := &StandardSystem{A: a, B: b, C: c, D: d}
+	crossings, err := HamiltonianImagEigs(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range crossings {
+		if math.Abs(w-1) < 1e-3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("crossing at ω=1 not found; got %v", crossings)
+	}
+}
+
+func TestHamiltonianNoCrossingsForPassive(t *testing.T) {
+	// H(s) = 1 + 1/(s+1): Re H(jω) > 0 everywhere — strictly passive.
+	a := dense.NewMat[float64](1, 1)
+	a.Set(0, 0, -1)
+	b := dense.NewMat[float64](1, 1)
+	b.Set(0, 0, 1)
+	c := dense.NewMat[float64](1, 1)
+	c.Set(0, 0, 1)
+	d := dense.NewMat[float64](1, 1)
+	d.Set(0, 0, 1)
+	s := &StandardSystem{A: a, B: b, C: c, D: d}
+	crossings, err := HamiltonianImagEigs(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crossings) != 0 {
+		t.Fatalf("unexpected crossings %v for strictly passive system", crossings)
+	}
+}
+
+func TestToStandardRejectsSingularC(t *testing.T) {
+	d, err := lti.NewDenseSystem(dense.NewMat[float64](2, 2), dense.Eye[float64](2),
+		dense.NewMat[float64](2, 1), dense.NewMat[float64](1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ToStandard(d); err == nil {
+		t.Fatal("singular C accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/lti"
+)
+
+// ACPoint is one frequency sample of a transfer-function entry.
+type ACPoint struct {
+	// Omega is the angular frequency in rad/s.
+	Omega float64
+	// H is the complex transfer value at jω.
+	H complex128
+}
+
+// ACSweepEntry evaluates H[row][col](jω) of any system over a logarithmic
+// frequency grid from wMin to wMax with the given number of points.
+func ACSweepEntry(sys lti.System, row, col int, wMin, wMax float64, points int) ([]ACPoint, error) {
+	if wMin <= 0 || wMax <= wMin || points < 2 {
+		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g] × %d", wMin, wMax, points)
+	}
+	out := make([]ACPoint, points)
+	l0, l1 := math.Log10(wMin), math.Log10(wMax)
+	for k := 0; k < points; k++ {
+		w := math.Pow(10, l0+(l1-l0)*float64(k)/float64(points-1))
+		h, err := lti.EvalEntry(sys, complex(0, w), row, col)
+		if err != nil {
+			return nil, fmt.Errorf("sim: AC sweep at ω=%g: %w", w, err)
+		}
+		out[k] = ACPoint{Omega: w, H: h}
+	}
+	return out, nil
+}
+
+// RelativeError returns |a-b|/|a| pointwise for two sweeps on the same grid,
+// the quantity plotted in Fig. 5(b) of the paper.
+func RelativeError(ref, approx []ACPoint) ([]float64, error) {
+	if len(ref) != len(approx) {
+		return nil, fmt.Errorf("sim: sweep length mismatch %d vs %d", len(ref), len(approx))
+	}
+	errs := make([]float64, len(ref))
+	for i := range ref {
+		den := cmplxAbs(ref[i].H)
+		if den == 0 {
+			den = 1
+		}
+		errs[i] = cmplxAbs(ref[i].H-approx[i].H) / den
+	}
+	return errs, nil
+}
+
+func cmplxAbs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }

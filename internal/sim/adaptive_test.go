@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dense"
+	"repro/internal/lti"
+)
+
+// scalarRCDense builds the 1-state RC ROM directly in dense form.
+func scalarRCDense(t *testing.T, r, c float64) *lti.DenseSystem {
+	t.Helper()
+	cm := dense.NewMat[float64](1, 1)
+	cm.Set(0, 0, c)
+	gm := dense.NewMat[float64](1, 1)
+	gm.Set(0, 0, -1/r)
+	bm := dense.NewMat[float64](1, 1)
+	bm.Set(0, 0, 1)
+	lm := dense.NewMat[float64](1, 1)
+	lm.Set(0, 0, 1)
+	d, err := lti.NewDenseSystem(cm, gm, bm, lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAdaptiveRCMatchesAnalytic(t *testing.T) {
+	r, c := 100.0, 1e-9
+	d := scalarRCDense(t, r, c)
+	tau := r * c
+	res, err := SimulateDenseAdaptive(d, AdaptiveOptions{
+		T:     5 * tau,
+		Tol:   1e-6,
+		Input: UniformInput(DC(1e-3)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tt := range res.T {
+		want := r * 1e-3 * (1 - math.Exp(-tt/tau))
+		if want > 1e-6 {
+			if rel := math.Abs(res.Y[k][0]-want) / want; rel > 1e-3 {
+				t.Fatalf("t=%g: rel err %.3e", tt, rel)
+			}
+		}
+	}
+	if res.MinStep <= 0 || res.MaxStep < res.MinStep {
+		t.Errorf("step telemetry broken: min %g max %g", res.MinStep, res.MaxStep)
+	}
+}
+
+func TestAdaptiveGrowsStepOnPlateau(t *testing.T) {
+	// After the transient settles (t ≫ τ), the controller should take much
+	// larger steps than during the initial edge.
+	r, c := 100.0, 1e-9
+	d := scalarRCDense(t, r, c)
+	tau := r * c
+	res, err := SimulateDenseAdaptive(d, AdaptiveOptions{
+		T:     100 * tau,
+		Tol:   1e-5,
+		HInit: tau / 100,
+		Input: UniformInput(Step{Amplitude: 1e-3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxStep < 20*res.MinStep {
+		t.Errorf("controller did not grow the step: min %g max %g", res.MinStep, res.MaxStep)
+	}
+	// Far fewer steps than fixed-step at the same accuracy would need.
+	if len(res.T) > 2000 {
+		t.Errorf("adaptive run took %d steps on a plateau signal", len(res.T))
+	}
+}
+
+func TestAdaptiveBlockDiagMatchesFixedStep(t *testing.T) {
+	sys := gridSystem(t)
+	rom, err := core.Reduce(sys, core.Options{Moments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := UniformInput(Pulse{Low: 0, High: 1e-3, Delay: 1e-10, Rise: 1e-10,
+		Width: 5e-10, Fall: 1e-10, Period: 1})
+	adaptive, err := SimulateBlockDiagAdaptive(rom, AdaptiveOptions{
+		T: 2e-9, Tol: 1e-7, HInit: 1e-12, Input: input,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed, err := SimulateBlockDiag(rom, TransientOptions{
+		Method: Trapezoidal, Dt: 1e-12, T: 2e-9, Input: input,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare the adaptive samples against linear interpolation of the
+	// (fine) fixed-step reference.
+	scale := 0.0
+	for k := range fixed.Y {
+		for _, v := range fixed.Y[k] {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+	}
+	for k, tt := range adaptive.T {
+		idx := int(tt / 1e-12)
+		if idx+1 >= len(fixed.T) {
+			break
+		}
+		frac := (tt - fixed.T[idx]) / 1e-12
+		for j := range adaptive.Y[k] {
+			ref := fixed.Y[idx][j]*(1-frac) + fixed.Y[idx+1][j]*frac
+			if math.Abs(adaptive.Y[k][j]-ref) > 0.02*scale+1e-9 {
+				t.Fatalf("t=%g output %d: adaptive %g vs fixed %g", tt, j, adaptive.Y[k][j], ref)
+			}
+		}
+	}
+}
+
+func TestAdaptiveValidation(t *testing.T) {
+	d := scalarRCDense(t, 1, 1)
+	if _, err := SimulateDenseAdaptive(d, AdaptiveOptions{T: 0, Input: UniformInput(DC(1))}); err == nil {
+		t.Error("zero T accepted")
+	}
+	if _, err := SimulateDenseAdaptive(d, AdaptiveOptions{T: 1}); err == nil {
+		t.Error("nil input accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// WaveformMetrics summarizes a transient output channel, the quantities a
+// power-integrity engineer reads off an IR-drop run.
+type WaveformMetrics struct {
+	// Peak is the maximum absolute value and PeakTime its time.
+	Peak     float64
+	PeakTime float64
+	// RMS is the root-mean-square value over the run (trapezoidal in time).
+	RMS float64
+	// Settle is the last time the waveform leaves the ±Band around its
+	// final value (0 if it never does).
+	Settle float64
+	// Final is the last sample.
+	Final float64
+}
+
+// Metrics computes waveform metrics for output channel j of a transient
+// result, with settle band given as a fraction of the peak (e.g. 0.02).
+func (r *Result) Metrics(j int, settleBand float64) (WaveformMetrics, error) {
+	if len(r.T) == 0 {
+		return WaveformMetrics{}, fmt.Errorf("sim: empty result")
+	}
+	if j < 0 || j >= len(r.Y[0]) {
+		return WaveformMetrics{}, fmt.Errorf("sim: output %d out of range %d", j, len(r.Y[0]))
+	}
+	var m WaveformMetrics
+	for k, tt := range r.T {
+		v := r.Y[k][j]
+		if a := math.Abs(v); a > m.Peak {
+			m.Peak = a
+			m.PeakTime = tt
+		}
+	}
+	// Trapezoidal RMS.
+	if len(r.T) > 1 {
+		acc := 0.0
+		for k := 1; k < len(r.T); k++ {
+			dt := r.T[k] - r.T[k-1]
+			v0, v1 := r.Y[k-1][j], r.Y[k][j]
+			acc += dt * (v0*v0 + v1*v1) / 2
+		}
+		total := r.T[len(r.T)-1] - r.T[0]
+		if total > 0 {
+			m.RMS = math.Sqrt(acc / total)
+		}
+	}
+	m.Final = r.Y[len(r.Y)-1][j]
+	band := settleBand * m.Peak
+	for k := len(r.T) - 1; k >= 0; k-- {
+		if math.Abs(r.Y[k][j]-m.Final) > band {
+			m.Settle = r.T[k]
+			break
+		}
+	}
+	return m, nil
+}
+
+// WorstCase returns the channel index and metrics of the output with the
+// largest peak magnitude — the worst IR-drop node of a power-grid run.
+func (r *Result) WorstCase(settleBand float64) (int, WaveformMetrics, error) {
+	if len(r.T) == 0 || len(r.Y[0]) == 0 {
+		return 0, WaveformMetrics{}, fmt.Errorf("sim: empty result")
+	}
+	worst := 0
+	var wm WaveformMetrics
+	for j := 0; j < len(r.Y[0]); j++ {
+		m, err := r.Metrics(j, settleBand)
+		if err != nil {
+			return 0, WaveformMetrics{}, err
+		}
+		if m.Peak > wm.Peak {
+			wm = m
+			worst = j
+		}
+	}
+	return worst, wm, nil
+}

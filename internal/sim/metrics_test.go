@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMetricsKnownWaveform(t *testing.T) {
+	// Triangle 0→1→0 over [0,2]: peak 1 at t=1, RMS = sqrt(1/3).
+	res := &Result{}
+	for k := 0; k <= 200; k++ {
+		tt := float64(k) / 100
+		v := tt
+		if tt > 1 {
+			v = 2 - tt
+		}
+		res.T = append(res.T, tt)
+		res.Y = append(res.Y, []float64{v, -2 * v})
+	}
+	m, err := res.Metrics(0, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Peak-1) > 1e-12 || math.Abs(m.PeakTime-1) > 1e-12 {
+		t.Errorf("peak %g at %g, want 1 at 1", m.Peak, m.PeakTime)
+	}
+	if math.Abs(m.RMS-math.Sqrt(1.0/3)) > 1e-3 {
+		t.Errorf("RMS %g, want %g", m.RMS, math.Sqrt(1.0/3))
+	}
+	if math.Abs(m.Final) > 1e-12 {
+		t.Errorf("final %g, want 0", m.Final)
+	}
+	// Settle: last excursion beyond 2% of peak around final (0) is near t≈1.98.
+	if m.Settle < 1.9 || m.Settle > 2 {
+		t.Errorf("settle %g, want ≈1.98", m.Settle)
+	}
+	// Worst case must pick channel 1 (peak 2).
+	j, wm, err := res.WorstCase(0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j != 1 || math.Abs(wm.Peak-2) > 1e-12 {
+		t.Errorf("worst channel %d peak %g, want 1 / 2", j, wm.Peak)
+	}
+}
+
+func TestMetricsErrors(t *testing.T) {
+	empty := &Result{}
+	if _, err := empty.Metrics(0, 0.1); err == nil {
+		t.Error("empty result accepted")
+	}
+	if _, _, err := empty.WorstCase(0.1); err == nil {
+		t.Error("empty worst case accepted")
+	}
+	res := &Result{T: []float64{0}, Y: [][]float64{{1}}}
+	if _, err := res.Metrics(5, 0.1); err == nil {
+		t.Error("out-of-range channel accepted")
+	}
+}

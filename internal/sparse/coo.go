@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO is a coordinate-format (triplet) sparse matrix builder. Entries may be
+// added in any order; duplicates are summed when the matrix is compiled to
+// CSR or CSC. COO is the natural target of MNA stamping, where several
+// circuit elements contribute to the same matrix position.
+type COO[T Scalar] struct {
+	rows, cols int
+	ri, ci     []int
+	v          []T
+}
+
+// NewCOO returns an empty rows×cols triplet builder.
+func NewCOO[T Scalar](rows, cols int) *COO[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("sparse: negative COO dimensions %d×%d", rows, cols))
+	}
+	return &COO[T]{rows: rows, cols: cols}
+}
+
+// Dims returns the matrix dimensions.
+func (a *COO[T]) Dims() (rows, cols int) { return a.rows, a.cols }
+
+// NNZ returns the number of stored triplets (duplicates counted separately).
+func (a *COO[T]) NNZ() int { return len(a.v) }
+
+// Add appends the triplet (i, j, v). Zero values are kept so that stamping
+// code does not need to special-case cancelling contributions; they are
+// dropped during compilation.
+func (a *COO[T]) Add(i, j int, v T) {
+	if i < 0 || i >= a.rows || j < 0 || j >= a.cols {
+		panic(fmt.Sprintf("sparse: COO index (%d,%d) out of range %d×%d", i, j, a.rows, a.cols))
+	}
+	a.ri = append(a.ri, i)
+	a.ci = append(a.ci, j)
+	a.v = append(a.v, v)
+}
+
+// compile sorts triplets by (major, minor), sums duplicates and drops exact
+// zeros, returning the compressed arrays. major selects row-major (CSR) or
+// column-major (CSC) compilation.
+func (a *COO[T]) compile(rowMajor bool) (ptr []int, idx []int, val []T) {
+	n := len(a.v)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	maj, min := a.ri, a.ci
+	majDim := a.rows
+	if !rowMajor {
+		maj, min = a.ci, a.ri
+		majDim = a.cols
+	}
+	sort.Slice(order, func(x, y int) bool {
+		i, j := order[x], order[y]
+		if maj[i] != maj[j] {
+			return maj[i] < maj[j]
+		}
+		return min[i] < min[j]
+	})
+
+	ptr = make([]int, majDim+1)
+	idx = make([]int, 0, n)
+	val = make([]T, 0, n)
+	for k := 0; k < n; {
+		t := order[k]
+		m, mi := maj[t], min[t]
+		var sum T
+		for k < n {
+			t = order[k]
+			if maj[t] != m || min[t] != mi {
+				break
+			}
+			sum += a.v[t]
+			k++
+		}
+		if !IsZero(sum) {
+			idx = append(idx, mi)
+			val = append(val, sum)
+			ptr[m+1]++
+		}
+	}
+	for i := 0; i < majDim; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	return ptr, idx, val
+}
+
+// ToCSR compiles the triplets into a CSR matrix, summing duplicates.
+func (a *COO[T]) ToCSR() *CSR[T] {
+	ptr, idx, val := a.compile(true)
+	return &CSR[T]{rows: a.rows, cols: a.cols, RowPtr: ptr, ColIdx: idx, Val: val}
+}
+
+// ToCSC compiles the triplets into a CSC matrix, summing duplicates.
+func (a *COO[T]) ToCSC() *CSC[T] {
+	ptr, idx, val := a.compile(false)
+	return &CSC[T]{rows: a.rows, cols: a.cols, ColPtr: ptr, RowIdx: idx, Val: val}
+}

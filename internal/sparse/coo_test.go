@@ -1,0 +1,272 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSRBasic(t *testing.T) {
+	c := NewCOO[float64](3, 4)
+	c.Add(0, 1, 2)
+	c.Add(2, 3, 5)
+	c.Add(0, 1, 3) // duplicate, summed
+	c.Add(1, 0, -1)
+	c.Add(1, 2, 4)
+	a := c.ToCSR()
+	if r, cols := a.Dims(); r != 3 || cols != 4 {
+		t.Fatalf("dims = %d×%d, want 3×4", r, cols)
+	}
+	if got := a.At(0, 1); got != 5 {
+		t.Errorf("At(0,1) = %v, want 5 (duplicates summed)", got)
+	}
+	if got := a.At(1, 0); got != -1 {
+		t.Errorf("At(1,0) = %v, want -1", got)
+	}
+	if got := a.At(2, 2); got != 0 {
+		t.Errorf("At(2,2) = %v, want 0 (absent entry)", got)
+	}
+	if a.NNZ() != 4 {
+		t.Errorf("NNZ = %d, want 4", a.NNZ())
+	}
+}
+
+func TestCOODropsCancellingDuplicates(t *testing.T) {
+	c := NewCOO[float64](2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, -1)
+	c.Add(1, 1, 3)
+	a := c.ToCSR()
+	if a.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1: cancelled duplicate must be dropped", a.NNZ())
+	}
+	if a.At(1, 1) != 3 {
+		t.Errorf("At(1,1) = %v, want 3", a.At(1, 1))
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	NewCOO[float64](2, 2).Add(2, 0, 1)
+}
+
+// randomCOO builds a random sparse matrix with roughly density*rows*cols
+// entries, including deliberate duplicates.
+func randomCOO(rng *rand.Rand, rows, cols int, density float64) *COO[float64] {
+	c := NewCOO[float64](rows, cols)
+	n := int(density * float64(rows*cols))
+	for k := 0; k < n; k++ {
+		c.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+	}
+	return c
+}
+
+func TestCOORoundTripCSRvsCSCProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		c := randomCOO(rng, rows, cols, 0.3)
+		dr := c.ToCSR().ToDense()
+		dc := c.ToCSC().ToCSR().ToDense()
+		for i := range dr {
+			for j := range dr[i] {
+				if math.Abs(dr[i][j]-dc[i][j]) > 1e-14 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(15), 1+rng.Intn(15)
+		a := randomCOO(rng, rows, cols, 0.4).ToCSR()
+		at := a.Transpose()
+		d, dt := a.ToDense(), at.ToDense()
+		for i := range d {
+			for j := range d[i] {
+				if d[i][j] != dt[j][i] {
+					return false
+				}
+			}
+		}
+		// Double transpose is the identity.
+		att := at.Transpose().ToDense()
+		for i := range d {
+			for j := range d[i] {
+				if d[i][j] != att[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSRMatVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		a := randomCOO(rng, rows, cols, 0.3).ToCSR()
+		d := a.ToDense()
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, rows)
+		a.MatVec(got, x)
+		for i := 0; i < rows; i++ {
+			want := 0.0
+			for j := 0; j < cols; j++ {
+				want += d[i][j] * x[j]
+			}
+			if math.Abs(got[i]-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("trial %d: MatVec[%d] = %g, want %g", trial, i, got[i], want)
+			}
+		}
+		// MatVecT agrees with the transpose's MatVec.
+		gt := make([]float64, cols)
+		a.MatVecT(gt, mustVec(rng, rows))
+		_ = gt
+	}
+}
+
+func mustVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestCSRMatVecTMatchesTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(30), 1+rng.Intn(30)
+		a := randomCOO(rng, rows, cols, 0.3).ToCSR()
+		x := mustVec(rng, rows)
+		got := make([]float64, cols)
+		a.MatVecT(got, x)
+		want := make([]float64, cols)
+		a.Transpose().MatVec(want, x)
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-12*(1+math.Abs(want[j])) {
+				t.Fatalf("trial %d: MatVecT[%d] = %g, want %g", trial, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCSRAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := randomCOO(rng, rows, cols, 0.3).ToCSR()
+		b := randomCOO(rng, rows, cols, 0.3).ToCSR()
+		alpha, beta := rng.NormFloat64(), rng.NormFloat64()
+		s := a.Add(alpha, b, beta)
+		da, db, ds := a.ToDense(), b.ToDense(), s.ToDense()
+		for i := range ds {
+			for j := range ds[i] {
+				want := alpha*da[i][j] + beta*db[i][j]
+				if math.Abs(ds[i][j]-want) > 1e-12*(1+math.Abs(want)) {
+					t.Fatalf("Add mismatch at (%d,%d): %g want %g", i, j, ds[i][j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRAddKeepsUnionPattern(t *testing.T) {
+	// Exact zeros arising from alpha=0 must be retained so that the pencil
+	// (s0·C - G) has a stable symbolic structure across expansion points.
+	c := NewCOO[float64](2, 2)
+	c.Add(0, 0, 1)
+	a := c.ToCSR()
+	c2 := NewCOO[float64](2, 2)
+	c2.Add(1, 1, 2)
+	b := c2.ToCSR()
+	s := a.Add(0, b, 1)
+	if s.NNZ() != 2 {
+		t.Fatalf("union pattern NNZ = %d, want 2", s.NNZ())
+	}
+}
+
+func TestPermuteSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 8
+	a := randomCOO(rng, n, n, 0.4).ToCSC()
+	p := Perm(rng.Perm(n))
+	b := a.PermuteSym(p)
+	da, db := a.ToCSR().ToDense(), b.ToCSR().ToDense()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if db[i][j] != da[p[i]][p[j]] {
+				t.Fatalf("PermuteSym mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPermInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		p := Perm(rng.Perm(n))
+		if !p.IsValid() {
+			return false
+		}
+		q := p.Inverse()
+		for i := range p {
+			if q[p[i]] != i || p[q[i]] != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToComplexPreservesValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomCOO(rng, 6, 6, 0.5).ToCSR()
+	z := ToComplex(a)
+	da, dz := a.ToDense(), z.ToDense()
+	for i := range da {
+		for j := range da[i] {
+			if complex(da[i][j], 0) != dz[i][j] {
+				t.Fatalf("ToComplex mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestIsStructurallySymmetric(t *testing.T) {
+	c := NewCOO[float64](3, 3)
+	c.Add(0, 1, 2)
+	c.Add(1, 0, 3)
+	c.Add(2, 2, 1)
+	if !c.ToCSR().IsStructurallySymmetric() {
+		t.Error("symmetric pattern reported asymmetric")
+	}
+	c.Add(0, 2, 1)
+	if c.ToCSR().IsStructurallySymmetric() {
+		t.Error("asymmetric pattern reported symmetric")
+	}
+}

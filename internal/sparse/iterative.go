@@ -1,0 +1,238 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Solver abstracts "apply A⁻¹" so that model reduction code can run either
+// on a direct LU factorization (fast, memory-hungry) or on an iterative
+// Krylov solver (slow, streaming) — mirroring the paper's note that the
+// sparse LU "is skipped in ckts3-5 to save memory, at the cost of more
+// simulation time".
+type Solver[T Scalar] interface {
+	// Solve stores A⁻¹ b in dst; dst and b may alias.
+	Solve(dst, b []T) error
+	// N returns the system dimension.
+	N() int
+}
+
+// ErrNoConvergence is returned when an iterative solver fails to reach the
+// requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("sparse: iterative solver did not converge")
+
+// IterOptions configures the iterative solvers.
+type IterOptions struct {
+	// Tol is the relative residual tolerance ‖b - Ax‖/‖b‖. Default 1e-12.
+	Tol float64
+	// MaxIter bounds the iteration count. Default 4·n.
+	MaxIter int
+}
+
+func (o *IterOptions) defaults(n int) {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 4 * n
+	}
+}
+
+// CG is a Jacobi-preconditioned conjugate-gradient solver for symmetric
+// positive definite systems, such as (s0·C - G) of an RC power grid at a
+// real expansion point s0 ≥ 0 in the paper's sign convention.
+type CG struct {
+	a    *CSR[float64]
+	dinv []float64
+	opts IterOptions
+	// iterations accumulates the total iteration count across Solve calls.
+	iterations atomic.Int64
+}
+
+// Iterations reports the total iteration count across all Solve calls.
+func (s *CG) Iterations() int { return int(s.iterations.Load()) }
+
+// NewCG builds a CG solver for the SPD matrix a.
+func NewCG(a *CSR[float64], opts IterOptions) (*CG, error) {
+	n, m := a.Dims()
+	if n != m {
+		return nil, fmt.Errorf("sparse: CG requires a square matrix, got %d×%d", n, m)
+	}
+	opts.defaults(n)
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if d == 0 {
+			return nil, fmt.Errorf("sparse: CG requires nonzero diagonal (row %d)", i)
+		}
+		dinv[i] = 1 / d
+	}
+	return &CG{a: a, dinv: dinv, opts: opts}, nil
+}
+
+// N returns the system dimension.
+func (s *CG) N() int { n, _ := s.a.Dims(); return n }
+
+// Solve runs preconditioned CG from a zero initial guess.
+func (s *CG) Solve(dst, b []float64) error {
+	n := s.N()
+	if len(dst) != n || len(b) != n {
+		return fmt.Errorf("sparse: CG Solve length mismatch (n=%d)", n)
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	p := make([]float64, n)
+	ap := make([]float64, n)
+
+	bnorm := Nrm2(r)
+	if bnorm == 0 {
+		ZeroVec(dst)
+		return nil
+	}
+	for i := range z {
+		z[i] = s.dinv[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+	for it := 0; it < s.opts.MaxIter; it++ {
+		s.a.MatVec(ap, p)
+		alpha := rz / Dot(p, ap)
+		Axpy(x, alpha, p)
+		Axpy(r, -alpha, ap)
+		s.iterations.Add(1)
+		if Nrm2(r)/bnorm <= s.opts.Tol {
+			copy(dst, x)
+			return nil
+		}
+		for i := range z {
+			z[i] = s.dinv[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	copy(dst, x)
+	return fmt.Errorf("%w: CG after %d iterations (rel res %.3e)",
+		ErrNoConvergence, s.opts.MaxIter, Nrm2(r)/bnorm)
+}
+
+// BiCGStab is a Jacobi-preconditioned stabilized bi-conjugate gradient
+// solver for general (unsymmetric) systems, such as the RLC MNA pencil that
+// couples node voltages and inductor currents.
+type BiCGStab[T Scalar] struct {
+	a    *CSR[T]
+	dinv []T
+	opts IterOptions
+	// iterations accumulates the total iteration count across Solve calls.
+	iterations atomic.Int64
+}
+
+// Iterations reports the total iteration count across all Solve calls.
+func (s *BiCGStab[T]) Iterations() int { return int(s.iterations.Load()) }
+
+// NewBiCGStab builds a BiCGStab solver for the square matrix a.
+func NewBiCGStab[T Scalar](a *CSR[T], opts IterOptions) (*BiCGStab[T], error) {
+	n, m := a.Dims()
+	if n != m {
+		return nil, fmt.Errorf("sparse: BiCGStab requires a square matrix, got %d×%d", n, m)
+	}
+	opts.defaults(n)
+	dinv := make([]T, n)
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if IsZero(d) {
+			// Zero diagonal (e.g. inductor-current rows): fall back to the
+			// identity for that row of the preconditioner.
+			dinv[i] = FromFloat[T](1)
+			continue
+		}
+		dinv[i] = FromFloat[T](1) / d
+	}
+	return &BiCGStab[T]{a: a, dinv: dinv, opts: opts}, nil
+}
+
+// N returns the system dimension.
+func (s *BiCGStab[T]) N() int { n, _ := s.a.Dims(); return n }
+
+// Solve runs preconditioned BiCGStab from a zero initial guess.
+func (s *BiCGStab[T]) Solve(dst, b []T) error {
+	n := s.N()
+	if len(dst) != n || len(b) != n {
+		return fmt.Errorf("sparse: BiCGStab Solve length mismatch (n=%d)", n)
+	}
+	x := make([]T, n)
+	r := append([]T(nil), b...)
+	rhat := append([]T(nil), b...)
+	p := make([]T, n)
+	v := make([]T, n)
+	sv := make([]T, n)
+	t := make([]T, n)
+	phat := make([]T, n)
+	shat := make([]T, n)
+
+	bnorm := Nrm2(b)
+	if bnorm == 0 {
+		ZeroVec(dst)
+		return nil
+	}
+	var rho, alpha, omega T
+	one := FromFloat[T](1)
+	rho, alpha, omega = one, one, one
+	ZeroVec(p)
+	ZeroVec(v)
+
+	for it := 0; it < s.opts.MaxIter; it++ {
+		rhoNew := DotConj(rhat, r)
+		if IsZero(rhoNew) {
+			break
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		rho = rhoNew
+		for i := range phat {
+			phat[i] = s.dinv[i] * p[i]
+		}
+		s.a.MatVec(v, phat)
+		alpha = rho / DotConj(rhat, v)
+		for i := range sv {
+			sv[i] = r[i] - alpha*v[i]
+		}
+		s.iterations.Add(1)
+		if Nrm2(sv)/bnorm <= s.opts.Tol {
+			Axpy(x, alpha, phat)
+			copy(dst, x)
+			return nil
+		}
+		for i := range shat {
+			shat[i] = s.dinv[i] * sv[i]
+		}
+		s.a.MatVec(t, shat)
+		tt := DotConj(t, t)
+		if IsZero(tt) {
+			break
+		}
+		omega = DotConj(t, sv) / tt
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = sv[i] - omega*t[i]
+		}
+		if Nrm2(r)/bnorm <= s.opts.Tol {
+			copy(dst, x)
+			return nil
+		}
+		if IsZero(omega) {
+			break
+		}
+	}
+	copy(dst, x)
+	return fmt.Errorf("%w: BiCGStab (rel res %.3e)", ErrNoConvergence, Nrm2(r)/bnorm)
+}

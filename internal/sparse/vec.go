@@ -1,0 +1,81 @@
+package sparse
+
+import "math"
+
+// Dot returns the unconjugated dot product xᵀy.
+func Dot[T Scalar](x, y []T) T {
+	if len(x) != len(y) {
+		panic("sparse: Dot length mismatch")
+	}
+	var sum T
+	for i := range x {
+		sum += x[i] * y[i]
+	}
+	return sum
+}
+
+// DotConj returns the conjugated inner product xᴴy (equals xᵀy for real T).
+func DotConj[T Scalar](x, y []T) T {
+	if len(x) != len(y) {
+		panic("sparse: DotConj length mismatch")
+	}
+	var sum T
+	for i := range x {
+		sum += Conj(x[i]) * y[i]
+	}
+	return sum
+}
+
+// Nrm2 returns the Euclidean norm of x.
+func Nrm2[T Scalar](x []T) float64 {
+	var sum float64
+	for i := range x {
+		a := Abs(x[i])
+		sum += a * a
+	}
+	return math.Sqrt(sum)
+}
+
+// Axpy computes y += alpha*x.
+func Axpy[T Scalar](y []T, alpha T, x []T) {
+	if len(x) != len(y) {
+		panic("sparse: Axpy length mismatch")
+	}
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// ScaleVec multiplies x by alpha in place.
+func ScaleVec[T Scalar](x []T, alpha T) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// CopyVec copies src into dst.
+func CopyVec[T Scalar](dst, src []T) {
+	if len(dst) != len(src) {
+		panic("sparse: CopyVec length mismatch")
+	}
+	copy(dst, src)
+}
+
+// ZeroVec sets x to zero.
+func ZeroVec[T Scalar](x []T) {
+	var zero T
+	for i := range x {
+		x[i] = zero
+	}
+}
+
+// InfNorm returns the maximum absolute entry of x (0 for empty x).
+func InfNorm[T Scalar](x []T) float64 {
+	m := 0.0
+	for i := range x {
+		if a := Abs(x[i]); a > m {
+			m = a
+		}
+	}
+	return m
+}

@@ -1,0 +1,76 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFacadeCoverage exercises the remaining facade surface: named-source
+// helpers, multipoint PRIMA, adaptive simulation and benchmark listing.
+func TestFacadeCoverage(t *testing.T) {
+	if names := BenchmarkNames(); len(names) != 5 || names[0] != "ckt1" {
+		t.Fatalf("BenchmarkNames = %v", names)
+	}
+	cfg, err := Benchmark("ckt1", 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, m, _ := sys.Dims()
+
+	// Multipoint PRIMA through the facade.
+	if _, err := ReducePRIMAMultipoint(sys, []float64{1e8, 1e10}, BaselineOptions{Moments: 2, MemoryBudget: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	rom, err := ReduceBDSM(sys, BDSMOptions{Moments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-port sources and PWL.
+	pwl, err := NewPWL([]float64{0, 1e-10, 2e-10}, []float64{0, 1e-3, 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]Source, m)
+	for i := range srcs {
+		if i%2 == 0 {
+			srcs[i] = pwl
+		} else {
+			srcs[i] = DC(0)
+		}
+	}
+	opts := TransientOptions{Dt: 1e-11, T: 5e-10, Input: Sources(srcs)}
+	rb, err := SimulateROM(rom, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := SimulateDenseROM(rom.ToDense(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range rb.Y {
+		for j := range rb.Y[k] {
+			if math.Abs(rb.Y[k][j]-rd.Y[k][j]) > 1e-10+1e-8*math.Abs(rd.Y[k][j]) {
+				t.Fatal("block vs dense facade transient mismatch")
+			}
+		}
+	}
+
+	// Adaptive runs through both facade entry points.
+	aopts := AdaptiveOptions{T: 5e-10, Tol: 1e-5, Input: Sources(srcs)}
+	ra, err := SimulateROMAdaptive(rom, aopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra.T) < 2 {
+		t.Fatal("adaptive run produced no steps")
+	}
+	if _, err := SimulateDenseROMAdaptive(rom.ToDense(), aopts); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package repro
+
+import (
+	"repro/internal/passivity"
+	"repro/internal/sim"
+)
+
+// Integration methods for transient simulation.
+type IntegrationMethod = sim.Method
+
+// Integration method values.
+const (
+	BackwardEuler = sim.BackwardEuler
+	Trapezoidal   = sim.Trapezoidal
+)
+
+// Source waveforms for transient inputs.
+type (
+	// DC is a constant source.
+	DC = sim.DC
+	// Step switches from 0 to Amplitude at Delay.
+	Step = sim.Step
+	// Pulse is a SPICE-style trapezoidal pulse train.
+	Pulse = sim.Pulse
+	// Sine is a sinusoidal source.
+	Sine = sim.Sine
+	// PWL is a piecewise-linear waveform.
+	PWL = sim.PWL
+)
+
+// NewPWL validates and constructs a piecewise-linear source.
+func NewPWL(t, v []float64) (*PWL, error) { return sim.NewPWL(t, v) }
+
+// Sources bundles one Source per port into an Input.
+func Sources(srcs []Source) Input { return sim.Sources(srcs) }
+
+// UniformInput drives every port with the same waveform.
+func UniformInput(s Source) Input { return sim.UniformInput(s) }
+
+// ACPoint is one frequency sample of a transfer entry.
+type ACPoint = sim.ACPoint
+
+// ACSweep evaluates H[row][col](jω) over a log-spaced grid — the Fig. 5
+// style frequency sweep.
+func ACSweep(sys System, row, col int, wMin, wMax float64, points int) ([]ACPoint, error) {
+	return sim.ACSweepEntry(sys, row, col, wMin, wMax, points)
+}
+
+// RelativeError computes |ref - approx|/|ref| pointwise over two sweeps.
+func RelativeError(ref, approx []ACPoint) ([]float64, error) {
+	return sim.RelativeError(ref, approx)
+}
+
+// PassivityCheckOptions configures CheckPassivity.
+type PassivityCheckOptions = passivity.CheckOptions
+
+// AdaptiveOptions configures error-controlled transient integration.
+type AdaptiveOptions = sim.AdaptiveOptions
+
+// AdaptiveResult extends TransientResult with step-size telemetry.
+type AdaptiveResult = sim.AdaptiveResult
+
+// SimulateROMAdaptive integrates a block-diagonal ROM with backward Euler
+// under step-doubling local error control.
+func SimulateROMAdaptive(rom *BlockDiagROM, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return sim.SimulateBlockDiagAdaptive(rom, opts)
+}
+
+// SimulateDenseROMAdaptive integrates a dense ROM adaptively.
+func SimulateDenseROMAdaptive(rom *DenseROM, opts AdaptiveOptions) (*AdaptiveResult, error) {
+	return sim.SimulateDenseAdaptive(rom, opts)
+}

@@ -1,0 +1,187 @@
+package repro
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIWorkflow drives the whole documented user journey through
+// the facade: benchmark → build → reduce → verify → save/load → simulate.
+func TestPublicAPIWorkflow(t *testing.T) {
+	cfg, err := Benchmark("ckt1", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, err := ReduceBDSM(sys, BDSMOptions{Moments: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frequency-domain agreement.
+	s := complex(0, 1e9)
+	hx, err := sys.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := rom.Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hx.Data {
+		if cmplx.Abs(hx.Data[i]-hr.Data[i]) > 1e-6*(1+cmplx.Abs(hx.Data[i])) {
+			t.Fatal("ROM transfer mismatch")
+		}
+	}
+
+	// Moments through the facade.
+	mo, err := Moments(sys, DefaultS0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mo) != 3 || mo[0].MaxAbs() == 0 {
+		t.Fatal("moments empty")
+	}
+
+	// Round trip.
+	var buf bytes.Buffer
+	if err := SaveROM(&buf, rom); err != nil {
+		t.Fatal(err)
+	}
+	rom2, err := LoadROM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Transient on the reloaded ROM vs the full model.
+	opts := TransientOptions{
+		Method: Trapezoidal, Dt: 1e-11, T: 1e-9,
+		Input: UniformInput(Step{Amplitude: 1e-3, Delay: 1e-10}),
+	}
+	full, err := SimulateFull(sys, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := SimulateROM(rom2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 0.0
+	for k := range full.Y {
+		for _, v := range full.Y[k] {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+	}
+	for k := range full.Y {
+		for j := range full.Y[k] {
+			if math.Abs(full.Y[k][j]-red.Y[k][j]) > 0.01*scale {
+				t.Fatalf("transient mismatch at step %d", k)
+			}
+		}
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	cfg, err := Benchmark("ckt1", 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := BuildGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReducePRIMA(sys, BaselineOptions{Moments: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReduceEKS(sys, nil, BaselineOptions{Moments: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReduceSVDMOR(sys, 0.6, BaselineOptions{Moments: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPINetlistPath(t *testing.T) {
+	netlist := `tiny grid
+R1 a b 1
+R2 b 0 2
+C1 a 0 1p
+C2 b 0 2p
+I1 a 0 1m
+.probe v(a) v(b)
+.end
+`
+	nl, err := ParseNetlist(strings.NewReader(netlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := FromNetlist(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m, p := sys.Dims()
+	if n != 2 || m != 1 || p != 2 {
+		t.Fatalf("dims %d/%d/%d", n, m, p)
+	}
+	rom, err := ReduceBDSM(sys, BDSMOptions{Moments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC gain check: v(a) for 1A draw = -(R1+R2) in load convention.
+	h, err := rom.Eval(complex(0, 1e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(real(h.At(0, 0))+3) > 1e-6 {
+		t.Fatalf("DC gain %v, want ≈ -3 (load draws current)", h.At(0, 0))
+	}
+}
+
+func TestPublicAPIPassivityAndImpedanceView(t *testing.T) {
+	cfg, err := Benchmark("ckt1", 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := ImpedanceView(built)
+	rom, err := ReduceBDSM(sys, BDSMOptions{Moments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckPassivity(rom, PassivityCheckOptions{Samples: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Stable {
+		t.Fatal("impedance ROM unstable")
+	}
+	// ACSweep + RelativeError through the facade.
+	ref, err := ACSweep(sys, 0, 0, 1e6, 1e12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := ACSweep(rom, 0, 0, 1e6, 1e12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, err := RelativeError(ref, approx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range errs {
+		if ref[i].Omega < 1e10 && e > 1e-6 {
+			t.Fatalf("facade sweep error %.3e at ω=%.3e", e, ref[i].Omega)
+		}
+	}
+}
