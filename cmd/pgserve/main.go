@@ -1,0 +1,92 @@
+// Command pgserve runs the ROM-serving HTTP daemon: a long-lived process
+// that reduces power-grid benchmarks once and serves transfer-function
+// evaluations, AC sweeps, and transient runs against the cached
+// block-diagonal ROMs to any number of concurrent clients.
+//
+//	pgserve -addr :8080 -preload ckt1@0.25,ckt2@0.1
+//
+//	curl -X POST localhost:8080/reduce -d '{"benchmark":"ckt1","scale":0.25}'
+//	curl -X POST localhost:8080/sweep \
+//	  -d '{"model":"ckt1-0.25-l6-s01e09","row":0,"col":0,"wmin":1e5,"wmax":1e15,"points":200}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU)")
+	cacheCap := flag.Int("cache", 4096, "factorization cache capacity (entries)")
+	maxModels := flag.Int("max-models", 0, "model repository bound (0 = default)")
+	preload := flag.String("preload", "", "comma-separated models to reduce at startup, each name@scale (e.g. ckt1@0.25)")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{Workers: *workers, CacheCapacity: *cacheCap, MaxModels: *maxModels})
+	defer srv.Close()
+
+	for _, spec := range strings.Split(*preload, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		key, err := parsePreload(spec)
+		if err != nil {
+			log.Fatalf("pgserve: -preload %q: %v", spec, err)
+		}
+		t0 := time.Now()
+		m, _, err := srv.Repo().Get(key)
+		if err != nil {
+			log.Fatalf("pgserve: preloading %q: %v", spec, err)
+		}
+		log.Printf("preloaded %s: %d nodes -> order %d (%d blocks) in %v",
+			m.ID, m.Nodes, m.Order, m.Blocks, time.Since(t0).Round(time.Millisecond))
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("pgserve listening on %s (workers=%d, cache=%d)", *addr, *workers, *cacheCap)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("pgserve: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("pgserve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		log.Printf("pgserve: shutdown: %v", err)
+	}
+}
+
+// parsePreload parses "name@scale" (scale optional, default 0.25).
+func parsePreload(spec string) (serve.ModelKey, error) {
+	key := serve.ModelKey{Scale: 0.25}
+	name, scaleStr, found := strings.Cut(spec, "@")
+	key.Benchmark = name
+	if found {
+		s, err := strconv.ParseFloat(scaleStr, 64)
+		if err != nil {
+			return key, fmt.Errorf("bad scale %q: %w", scaleStr, err)
+		}
+		key.Scale = s
+	}
+	return key, nil
+}

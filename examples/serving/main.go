@@ -1,0 +1,121 @@
+// Example serving demonstrates the pgserve workflow end to end: it starts
+// the ROM service in-process, reduces a benchmark once via POST /reduce,
+// then fires many concurrent AC-sweep requests at it — the paper's
+// reduce-once / evaluate-many reusability argument, operationalized. The
+// second wave of sweeps reuses cached pencil factorizations, and the final
+// /healthz read shows the cache hit ratio.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("pgserve serving on %s\n\n", base)
+
+	// Reduce once. Every sweep below reuses this block-diagonal ROM.
+	t0 := time.Now()
+	var info struct {
+		ID     string `json:"id"`
+		Nodes  int    `json:"nodes"`
+		Ports  int    `json:"ports"`
+		Order  int    `json:"order"`
+		Blocks int    `json:"blocks"`
+	}
+	post(base+"/reduce", map[string]any{"benchmark": "ckt2", "scale": 0.2}, &info)
+	fmt.Printf("reduced %d-node, %d-port grid -> order-%d ROM (%d blocks) in %v\n",
+		info.Nodes, info.Ports, info.Order, info.Blocks, time.Since(t0).Round(time.Millisecond))
+
+	// Two waves of concurrent sweeps on the same frequency grid. Wave 1
+	// factors each frequency point once (across all requests — concurrent
+	// requests at the same point coalesce); wave 2 is all cache hits.
+	const clients = 16
+	sweep := func(col int) {
+		var out struct {
+			Points []struct {
+				Omega, Mag float64
+			} `json:"points"`
+		}
+		post(base+"/sweep", map[string]any{
+			"model": info.ID, "row": col % 3, "col": col,
+			"wmin": 1e5, "wmax": 1e15, "points": 300,
+		}, &out)
+		if len(out.Points) != 300 {
+			log.Fatalf("sweep returned %d points", len(out.Points))
+		}
+	}
+	for wave := 1; wave <= 2; wave++ {
+		t := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			c := c
+			wg.Add(1)
+			go func() { defer wg.Done(); sweep(c % info.Ports) }()
+		}
+		wg.Wait()
+		fmt.Printf("wave %d: %d concurrent 300-point sweeps in %v\n",
+			wave, clients, time.Since(t).Round(time.Microsecond))
+	}
+
+	var health struct {
+		Cache struct {
+			Entries   int   `json:"entries"`
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Evictions int64 `json:"evictions"`
+		} `json:"cache"`
+		Workers int `json:"workers"`
+	}
+	get(base+"/healthz", &health)
+	c := health.Cache
+	fmt.Printf("\nfactorization cache: %d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions, %d workers\n",
+		c.Entries, c.Hits, c.Misses,
+		100*float64(c.Hits)/float64(c.Hits+c.Misses), c.Evictions, health.Workers)
+}
+
+func post(url string, body, out any) {
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, e["error"])
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("POST %s: decode: %v", url, err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: decode: %v", url, err)
+	}
+}

@@ -73,7 +73,11 @@ type Options struct {
 	Stats *Stats
 }
 
-func (o *Options) defaults() {
+// Normalize applies the documented defaults in place (S0, Moments, Workers).
+// Reduce calls it internally; callers that key caches or model repositories
+// on reduction parameters should normalize first so that "moments unset" and
+// "moments = DefaultMoments" map to the same entry.
+func (o *Options) Normalize() {
 	if o.S0 == 0 {
 		o.S0 = DefaultS0
 	}
@@ -113,7 +117,7 @@ type Stats struct {
 // nothing to H(s) and are skipped; columns whose Krylov space deflates early
 // yield blocks smaller than l (exact reduction of that column).
 func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
-	opts.defaults()
+	opts.Normalize()
 	n, m, p := sys.Dims()
 	if m == 0 {
 		return nil, fmt.Errorf("core: system has no input ports")

@@ -90,6 +90,17 @@ func (c *Config) Validate() error {
 	return nil
 }
 
+// Key returns a deterministic fingerprint of every generation parameter.
+// Two configs with equal keys build bit-identical models (generation is
+// seeded), so the key is safe to use for model-repository deduplication and
+// as a component of ROM cache keys.
+func (c *Config) Key() string {
+	return fmt.Sprintf("%s|%dx%dx%d|ports%d|pads%d|r%g:%g:%g:%d|c%g|pad%g:%g|var%g|seed%d|rc%t",
+		c.Name, c.NX, c.NY, c.Layers, c.Ports, c.Pads,
+		c.SheetR, c.LayerRScale, c.ViaR, c.ViaPitch, c.NodeC,
+		c.PadR, c.PadL, c.Variation, c.Seed, c.RCOnly)
+}
+
 // NumNodes returns the total state count of the generated MNA model:
 // grid nodes plus, for RLC grids, one midpoint node and one inductor
 // branch current per pad.

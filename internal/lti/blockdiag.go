@@ -61,33 +61,130 @@ func (bd *BlockDiagSystem) Validate() error {
 	return nil
 }
 
-// Eval computes Hr(s) block by block: column Input of Hr receives
-// Lᵢ (sCᵢ - Gᵢ)⁻¹ bᵢ. Each block is a small l×l solve, so the total cost is
-// O(m·l³) — the paper's headline simulation speedup over the O(m³l³) dense
-// ROM (Sec. III-B).
-func (bd *BlockDiagSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
-	h := dense.NewMat[complex128](bd.P, bd.M)
+// BlockDiagFactors is a reusable frequency-point factorization context: the
+// complex LU factors of every block pencil (sCᵢ - Gᵢ) at one fixed s,
+// together with complexified views of Bᵢ and Lᵢ. Factoring is the O(l³)
+// part of an evaluation; with the factors in hand each extra Eval or
+// EvalColumn at the same s costs only O(l²) triangular solves per block.
+// A BlockDiagFactors is immutable after construction and safe for
+// concurrent use — the property the serving layer's factorization cache
+// relies on.
+type BlockDiagFactors struct {
+	// S is the complex frequency the pencils were factored at.
+	S complex128
+	// M and P mirror the source system's port and output counts.
+	M, P int
+
+	// col is -1 for a full factorization; otherwise only the blocks
+	// driven by input col are factored and only that column can be
+	// evaluated.
+	col    int
+	blocks []blockFactor
+}
+
+type blockFactor struct {
+	lu    *dense.LU[complex128]
+	b     []complex128           // complexified B
+	l     *dense.Mat[complex128] // complexified L
+	input int
+}
+
+// factorBlock builds the evaluation context of a single block at s.
+func factorBlock(b *Block, s complex128) (blockFactor, error) {
+	pencil := dense.ToComplex(b.C).Scale(s).Sub(dense.ToComplex(b.G))
+	lu, err := dense.FactorLU(pencil)
+	if err != nil {
+		return blockFactor{}, fmt.Errorf("lti: block pencil singular at s=%v: %w", s, err)
+	}
+	bz := make([]complex128, len(b.B))
+	for k, v := range b.B {
+		bz[k] = complex(v, 0)
+	}
+	return blockFactor{lu: lu, b: bz, l: dense.ToComplex(b.L), input: b.Input}, nil
+}
+
+// column solves the factored block pencil against its input vector and maps
+// through L: Lᵢ (sCᵢ - Gᵢ)⁻¹ bᵢ.
+func (bf *blockFactor) column() ([]complex128, error) {
+	x := make([]complex128, len(bf.b))
+	if err := bf.lu.Solve(x, bf.b); err != nil {
+		return nil, err
+	}
+	return bf.l.MulVec(x), nil
+}
+
+// Factorize factors every block pencil at s into a reusable evaluation
+// context. Repeated evaluations at the same frequency — AC sweeps over
+// shared grids, concurrent requests hitting common points — should factor
+// once and evaluate through the returned context.
+func (bd *BlockDiagSystem) Factorize(s complex128) (*BlockDiagFactors, error) {
+	f := &BlockDiagFactors{S: s, M: bd.M, P: bd.P, col: -1, blocks: make([]blockFactor, len(bd.Blocks))}
 	for i := range bd.Blocks {
-		col, err := bd.evalBlock(&bd.Blocks[i], s)
+		bf, err := factorBlock(&bd.Blocks[i], s)
+		if err != nil {
+			return nil, fmt.Errorf("lti: block %d: %w", i, err)
+		}
+		f.blocks[i] = bf
+	}
+	return f, nil
+}
+
+// FactorizeColumn factors only the blocks driven by input j (normally one
+// block of m), producing a context that evaluates column j alone. Compared
+// to Factorize this is m× cheaper to build and to retain — the right shape
+// for caching single-entry sweeps over many-port grids.
+func (bd *BlockDiagSystem) FactorizeColumn(s complex128, j int) (*BlockDiagFactors, error) {
+	if j < 0 || j >= bd.M {
+		return nil, fmt.Errorf("lti: column %d out of range %d", j, bd.M)
+	}
+	f := &BlockDiagFactors{S: s, M: bd.M, P: bd.P, col: j}
+	for i := range bd.Blocks {
+		if bd.Blocks[i].Input != j {
+			continue
+		}
+		bf, err := factorBlock(&bd.Blocks[i], s)
+		if err != nil {
+			return nil, fmt.Errorf("lti: block %d: %w", i, err)
+		}
+		f.blocks = append(f.blocks, bf)
+	}
+	return f, nil
+}
+
+// Eval computes the full p×m transfer matrix Hr(S) from the cached factors:
+// column Input receives Lᵢ (sCᵢ - Gᵢ)⁻¹ bᵢ (eq. 15), at O(l²) per block.
+func (f *BlockDiagFactors) Eval() (*dense.Mat[complex128], error) {
+	if f.col >= 0 {
+		return nil, fmt.Errorf("lti: column-%d factorization cannot evaluate the full matrix", f.col)
+	}
+	h := dense.NewMat[complex128](f.P, f.M)
+	for i := range f.blocks {
+		col, err := f.blocks[i].column()
 		if err != nil {
 			return nil, err
 		}
-		for r := 0; r < bd.P; r++ {
-			h.Set(r, bd.Blocks[i].Input, h.At(r, bd.Blocks[i].Input)+col[r])
+		j := f.blocks[i].input
+		for r := 0; r < f.P; r++ {
+			h.Set(r, j, h.At(r, j)+col[r])
 		}
 	}
 	return h, nil
 }
 
-// EvalColumn evaluates one column of Hr(s), touching only the blocks driven
-// by input j (normally exactly one).
-func (bd *BlockDiagSystem) EvalColumn(s complex128, j int) ([]complex128, error) {
-	col := make([]complex128, bd.P)
-	for i := range bd.Blocks {
-		if bd.Blocks[i].Input != j {
+// EvalColumn computes column j of Hr(S) from the cached factors.
+func (f *BlockDiagFactors) EvalColumn(j int) ([]complex128, error) {
+	if j < 0 || j >= f.M {
+		return nil, fmt.Errorf("lti: column %d out of range %d", j, f.M)
+	}
+	if f.col >= 0 && j != f.col {
+		return nil, fmt.Errorf("lti: factorization holds column %d, not %d", f.col, j)
+	}
+	col := make([]complex128, f.P)
+	for i := range f.blocks {
+		if f.blocks[i].input != j {
 			continue
 		}
-		c, err := bd.evalBlock(&bd.Blocks[i], s)
+		c, err := f.blocks[i].column()
 		if err != nil {
 			return nil, err
 		}
@@ -98,21 +195,40 @@ func (bd *BlockDiagSystem) EvalColumn(s complex128, j int) ([]complex128, error)
 	return col, nil
 }
 
-func (bd *BlockDiagSystem) evalBlock(b *Block, s complex128) ([]complex128, error) {
-	l := b.Order()
-	pencil := dense.ToComplex(b.C).Scale(s).Sub(dense.ToComplex(b.G))
-	f, err := dense.FactorLU(pencil)
+// MemBytes estimates the memory retained by the factors — the quantity the
+// serving layer's LRU cache budgets against.
+func (f *BlockDiagFactors) MemBytes() int64 {
+	var n int64
+	for i := range f.blocks {
+		bf := &f.blocks[i]
+		l := int64(len(bf.b))
+		// packed LU (l×l complex) + pivots + B + L, 16 bytes per complex128.
+		n += 16*(l*l+l) + 8*l + 16*int64(bf.l.Rows)*int64(bf.l.Cols)
+	}
+	return n
+}
+
+// Eval computes Hr(s) block by block via a one-shot factorization context.
+// Each block is a small l×l factor+solve, so the total cost is O(m·l³) —
+// the paper's headline simulation speedup over the O(m³l³) dense ROM
+// (Sec. III-B). Callers evaluating the same s repeatedly should Factorize
+// once and reuse the context.
+func (bd *BlockDiagSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
+	f, err := bd.Factorize(s)
 	if err != nil {
-		return nil, fmt.Errorf("lti: block pencil singular at s=%v: %w", s, err)
-	}
-	x := make([]complex128, l)
-	for k := 0; k < l; k++ {
-		x[k] = complex(b.B[k], 0)
-	}
-	if err := f.Solve(x, x); err != nil {
 		return nil, err
 	}
-	return dense.ToComplex(b.L).MulVec(x), nil
+	return f.Eval()
+}
+
+// EvalColumn evaluates one column of Hr(s), factoring only the blocks driven
+// by input j (normally exactly one).
+func (bd *BlockDiagSystem) EvalColumn(s complex128, j int) ([]complex128, error) {
+	f, err := bd.FactorizeColumn(s, j)
+	if err != nil {
+		return nil, err
+	}
+	return f.EvalColumn(j)
 }
 
 // ToDense assembles the explicit block-diagonal matrices of eq. (14) into a

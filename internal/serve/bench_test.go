@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"testing"
+)
+
+// The cold/cached pair documents the factorization cache's payoff: cold pays
+// the per-block O(l³) complex LU factorization on every evaluation, cached
+// pays it once and then only the O(l²) triangular solves.
+
+func BenchmarkEvalColdFactorization(b *testing.B) {
+	m := testModel(b, 0.25)
+	s := complex(0, 1e9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ROM.Eval(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalCachedFactorization(b *testing.B) {
+	m := testModel(b, 0.25)
+	cache := NewFactorCache(64)
+	s := complex(0, 1e9)
+	if _, _, err := cache.GetOrFactor(m.ID, m.ROM, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _, err := cache.GetOrFactor(m.ID, m.ROM, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := f.Eval(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepRepeated measures a full served sweep re-run at an identical
+// grid — the serving layer's steady state, where every frequency point hits
+// the cache.
+func BenchmarkSweepRepeated(b *testing.B) {
+	m := testModel(b, 0.25)
+	cache := NewFactorCache(1024)
+	eng := NewEngine(0)
+	defer eng.Close()
+	if _, err := Sweep(eng, cache, m, 0, 0, 1e5, 1e15, 200); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sweep(eng, cache, m, 0, 0, 1e5, 1e15, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

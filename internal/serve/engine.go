@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"fmt"
+	"math/cmplx"
+	"runtime"
+	"sync"
+
+	"repro/internal/dense"
+	"repro/internal/sim"
+)
+
+// Engine is the shared fixed-size worker pool that batched evaluations fan
+// out on. One pool serves every request, so total evaluation concurrency is
+// bounded by the worker count regardless of how many HTTP requests are in
+// flight — requests queue at the task level, not the goroutine level.
+type Engine struct {
+	tasks     chan func()
+	done      chan struct{}
+	wg        sync.WaitGroup
+	workers   int
+	closeOnce sync.Once
+}
+
+// NewEngine starts a pool of the given size; workers <= 0 selects
+// runtime.NumCPU().
+func NewEngine(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Engine{tasks: make(chan func()), done: make(chan struct{}), workers: workers}
+	for i := 0; i < workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for {
+				select {
+				case f := <-e.tasks:
+					f()
+				case <-e.done:
+					return
+				}
+			}
+		}()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close stops the pool. Safe to call with Maps still in flight (a graceful
+// HTTP shutdown that timed out may leave handlers running): their remaining
+// tasks fall back to the submitting goroutine, so every Map still completes.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.done) })
+	e.wg.Wait()
+}
+
+// submit hands f to a pool worker, or runs it on the calling goroutine if
+// the pool is shutting down.
+func (e *Engine) submit(f func()) {
+	select {
+	case e.tasks <- f:
+	case <-e.done:
+		f()
+	}
+}
+
+// Map runs fn(0..n-1) across the pool and blocks until every call returns.
+// All n calls run even after a failure; the first error (by completion
+// order) is returned. Map must not be called from inside a pool task — that
+// would deadlock a fully-loaded pool.
+func (e *Engine) Map(n int, fn func(i int) error) error {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		e.submit(func() {
+			defer wg.Done()
+			// A panicking task must not kill the shared worker (and with
+			// it the process); surface it as this Map's error instead.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("serve: task %d panicked: %v", i, r)
+					}
+					mu.Unlock()
+				}
+			}()
+			if err := fn(i); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// SweepPoint is one frequency sample of a batched AC sweep.
+type SweepPoint struct {
+	Omega float64 `json:"omega"`
+	Re    float64 `json:"re"`
+	Im    float64 `json:"im"`
+	Mag   float64 `json:"mag"`
+}
+
+// Sweep evaluates H[row][col](jω) of the model's ROM over the standard
+// logarithmic grid, fanning the frequency points across the engine. Every
+// point goes through the factorization cache, so sweeps from concurrent
+// requests on the same grid share pencil factors.
+func Sweep(eng *Engine, cache *FactorCache, m *Model, row, col int, wMin, wMax float64, points int) ([]SweepPoint, error) {
+	if row < 0 || row >= m.Outputs || col < 0 || col >= m.Ports {
+		return nil, badRequest("entry (%d,%d) out of range %d×%d", row, col, m.Outputs, m.Ports)
+	}
+	grid, err := sim.LogGrid(wMin, wMax, points)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	out := make([]SweepPoint, points)
+	err = eng.Map(points, func(k int) error {
+		f, _, err := cache.GetOrFactorColumn(m.ID, m.ROM, complex(0, grid[k]), col)
+		if err != nil {
+			return err
+		}
+		c, err := f.EvalColumn(col)
+		if err != nil {
+			return err
+		}
+		h := c[row]
+		out[k] = SweepPoint{Omega: grid[k], Re: real(h), Im: imag(h), Mag: cmplx.Abs(h)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EvalBatch computes the full p×m transfer matrix at each requested angular
+// frequency, one engine task per frequency, through the factorization cache.
+func EvalBatch(eng *Engine, cache *FactorCache, m *Model, omegas []float64) ([]*dense.Mat[complex128], error) {
+	out := make([]*dense.Mat[complex128], len(omegas))
+	err := eng.Map(len(omegas), func(k int) error {
+		f, _, err := cache.GetOrFactor(m.ID, m.ROM, complex(0, omegas[k]))
+		if err != nil {
+			return err
+		}
+		h, err := f.Eval()
+		if err != nil {
+			return err
+		}
+		out[k] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Transient runs a fixed-step transient on the model's ROM as a single
+// engine task, so the pool's worker count bounds total evaluation
+// concurrency across sweeps, evals, and transients alike: concurrent
+// transient requests queue for slots instead of each spawning its own
+// goroutine fan-out. The block solves inside the occupied slot run
+// serially (Workers = 1).
+func Transient(eng *Engine, m *Model, opts sim.TransientOptions) (*sim.Result, error) {
+	opts.Workers = 1
+	var res *sim.Result
+	err := eng.Map(1, func(int) error {
+		var err error
+		res, err = sim.SimulateBlockDiag(m.ROM, opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/lti"
+)
+
+// facShards is the shard count of the factorization cache. Sharding keeps
+// lock hold times short under concurrent sweeps: two requests at different
+// frequencies almost always land on different shards.
+const facShards = 16
+
+// facKey identifies one cached factorization: a model, a complex frequency
+// point, and either the full block set (col = -1) or the blocks of a single
+// input column. Sweeps over the shared log grid (sim.LogGrid) produce
+// bit-identical frequencies across requests, so common points collide on
+// purpose. Single-entry sweeps cache per column: factoring (and retaining)
+// all m blocks for a request that reads one column would cost m× more.
+type facKey struct {
+	model string
+	s     complex128
+	col   int
+}
+
+func (k facKey) shard() uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.model))
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[:8], math.Float64bits(real(k.s)))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(imag(k.s)))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(int64(k.col)))
+	h.Write(buf[:])
+	return h.Sum64() % facShards
+}
+
+// facEntry is one cache slot. ready is closed once factors/err are set;
+// waiters that arrive while the factorization is in flight block on it
+// instead of refactoring (single-flight). An entry evicted while still in
+// flight keeps working for the goroutines already holding it.
+type facEntry struct {
+	key     facKey
+	ready   chan struct{}
+	factors *lti.BlockDiagFactors
+	err     error
+}
+
+type facShard struct {
+	mu    sync.Mutex
+	items map[facKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+// FactorCache is a bounded, sharded LRU cache of per-frequency block pencil
+// factorizations. It amortizes the O(l³) factor cost of BlockDiagSystem
+// evaluation across requests: an AC sweep re-run at the same grid, or many
+// concurrent requests touching a common frequency, pay the factorization
+// once and the O(l²) solves every time after.
+type FactorCache struct {
+	shards   [facShards]facShard
+	perShard int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewFactorCache returns a cache bounded to roughly capacity entries
+// (rounded up to a multiple of the shard count). capacity <= 0 selects the
+// default of 4096 entries.
+func NewFactorCache(capacity int) *FactorCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	per := (capacity + facShards - 1) / facShards
+	if per < 1 {
+		per = 1
+	}
+	c := &FactorCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].items = make(map[facKey]*list.Element)
+		c.shards[i].order = list.New()
+	}
+	return c
+}
+
+// GetOrFactor returns the full factorization of rom's block pencils at s,
+// keyed by modelID, factoring at most once per resident key. The boolean
+// reports a cache hit (including waiting on another goroutine's in-flight
+// factorization). Errors are not cached: a failed entry is removed so a
+// later call retries.
+func (c *FactorCache) GetOrFactor(modelID string, rom *lti.BlockDiagSystem, s complex128) (*lti.BlockDiagFactors, bool, error) {
+	return c.getOrFactor(facKey{model: modelID, s: s, col: -1}, rom)
+}
+
+// GetOrFactorColumn is GetOrFactor for a single input column: only the
+// blocks driven by col are factored and cached. The returned context
+// evaluates column col exclusively.
+func (c *FactorCache) GetOrFactorColumn(modelID string, rom *lti.BlockDiagSystem, s complex128, col int) (*lti.BlockDiagFactors, bool, error) {
+	return c.getOrFactor(facKey{model: modelID, s: s, col: col}, rom)
+}
+
+func (c *FactorCache) getOrFactor(k facKey, rom *lti.BlockDiagSystem) (*lti.BlockDiagFactors, bool, error) {
+	sh := &c.shards[k.shard()]
+
+	sh.mu.Lock()
+	if el, ok := sh.items[k]; ok {
+		sh.order.MoveToFront(el)
+		e := el.Value.(*facEntry)
+		sh.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The owner removes failed entries; just report the error.
+			return nil, false, e.err
+		}
+		c.hits.Add(1)
+		return e.factors, true, nil
+	}
+	e := &facEntry{key: k, ready: make(chan struct{})}
+	el := sh.order.PushFront(e)
+	sh.items[k] = el
+	if sh.order.Len() > c.perShard {
+		oldest := sh.order.Back()
+		sh.order.Remove(oldest)
+		delete(sh.items, oldest.Value.(*facEntry).key)
+		c.evictions.Add(1)
+	}
+	sh.mu.Unlock()
+
+	c.misses.Add(1)
+	e.factors, e.err = safeFactorize(rom, k)
+	close(e.ready)
+	if e.err != nil {
+		sh.mu.Lock()
+		if cur, ok := sh.items[k]; ok && cur == el {
+			sh.order.Remove(el)
+			delete(sh.items, k)
+		}
+		sh.mu.Unlock()
+		return nil, false, e.err
+	}
+	return e.factors, false, nil
+}
+
+// safeFactorize converts a panic anywhere under Factorize into an error, so
+// a single poisoned evaluation cannot wedge the entry's waiters (ready would
+// never close) or take down the process.
+func safeFactorize(rom *lti.BlockDiagSystem, k facKey) (f *lti.BlockDiagFactors, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, err = nil, fmt.Errorf("serve: factorization at s=%v panicked: %v", k.s, r)
+		}
+	}()
+	if k.col < 0 {
+		return rom.Factorize(k.s)
+	}
+	return rom.FactorizeColumn(k.s, k.col)
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Bytes approximates the memory retained by resident, completed
+	// factorizations.
+	Bytes int64 `json:"bytes"`
+}
+
+// Stats reports cache occupancy and hit/miss/eviction counters.
+func (c *FactorCache) Stats() CacheStats {
+	var st CacheStats
+	st.Hits = c.hits.Load()
+	st.Misses = c.misses.Load()
+	st.Evictions = c.evictions.Load()
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += sh.order.Len()
+		for el := sh.order.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*facEntry)
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					st.Bytes += e.factors.MemBytes()
+				}
+			default: // still factoring; skip rather than block
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st
+}

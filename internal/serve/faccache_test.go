@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/dense"
+	"repro/internal/lti"
+)
+
+func testModel(t testing.TB, scale float64) *Model {
+	t.Helper()
+	m, _, err := NewRepository(0).Get(ModelKey{Benchmark: "ckt1", Scale: scale})
+	if err != nil {
+		t.Fatalf("building test model: %v", err)
+	}
+	return m
+}
+
+func TestFactorCacheHit(t *testing.T) {
+	m := testModel(t, 0.1)
+	c := NewFactorCache(64)
+	s := complex(0, 1e9)
+
+	f1, hit, err := c.GetOrFactor(m.ID, m.ROM, s)
+	if err != nil {
+		t.Fatalf("first GetOrFactor: %v", err)
+	}
+	if hit {
+		t.Fatalf("first access reported a hit")
+	}
+	f2, hit, err := c.GetOrFactor(m.ID, m.ROM, s)
+	if err != nil {
+		t.Fatalf("second GetOrFactor: %v", err)
+	}
+	if !hit {
+		t.Fatalf("second access reported a miss")
+	}
+	if f1 != f2 {
+		t.Fatalf("cache returned distinct factorizations for the same key")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("resident factors report %d bytes", st.Bytes)
+	}
+
+	// Distinct models must not share entries even at equal frequency.
+	if _, hit, _ := c.GetOrFactor(m.ID+"-other", m.ROM, s); hit {
+		t.Fatalf("different model id hit the same cache entry")
+	}
+}
+
+func TestFactorCacheColumnEntries(t *testing.T) {
+	m := testModel(t, 0.1)
+	c := NewFactorCache(64)
+	s := complex(0, 1e9)
+
+	fc, hit, err := c.GetOrFactorColumn(m.ID, m.ROM, s, 0)
+	if err != nil || hit {
+		t.Fatalf("first column fetch: hit=%v err=%v", hit, err)
+	}
+	// Column and full factorizations are distinct cache entries.
+	ff, hit, err := c.GetOrFactor(m.ID, m.ROM, s)
+	if err != nil || hit {
+		t.Fatalf("full fetch after column fetch: hit=%v err=%v", hit, err)
+	}
+	if _, hit, _ := c.GetOrFactorColumn(m.ID, m.ROM, s, 0); !hit {
+		t.Fatalf("repeated column fetch missed")
+	}
+	// A column context is m× lighter and guards misuse.
+	if fc.MemBytes() >= ff.MemBytes() {
+		t.Fatalf("column factors (%d B) not smaller than full factors (%d B)", fc.MemBytes(), ff.MemBytes())
+	}
+	if _, err := fc.Eval(); err == nil {
+		t.Fatalf("partial factorization evaluated the full matrix")
+	}
+	if _, err := fc.EvalColumn(1); err == nil {
+		t.Fatalf("column-0 factorization evaluated column 1")
+	}
+	// Both paths agree on the column they share.
+	want, err := ff.EvalColumn(0)
+	if err != nil {
+		t.Fatalf("full eval: %v", err)
+	}
+	got, err := fc.EvalColumn(0)
+	if err != nil {
+		t.Fatalf("column eval: %v", err)
+	}
+	for r := range want {
+		if got[r] != want[r] {
+			t.Fatalf("row %d: column path %v, full path %v", r, got[r], want[r])
+		}
+	}
+}
+
+func TestFactorCacheEviction(t *testing.T) {
+	m := testModel(t, 0.1)
+	capacity := facShards // one entry per shard
+	c := NewFactorCache(capacity)
+
+	const n = 3 * facShards
+	for k := 0; k < n; k++ {
+		w := 1e6 * float64(k+1)
+		if _, _, err := c.GetOrFactor(m.ID, m.ROM, complex(0, w)); err != nil {
+			t.Fatalf("GetOrFactor(ω=%g): %v", w, err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries > capacity {
+		t.Fatalf("cache holds %d entries, bound is %d", st.Entries, capacity)
+	}
+	if st.Evictions < int64(n-capacity) {
+		t.Fatalf("evictions = %d, want ≥ %d after inserting %d into capacity %d",
+			st.Evictions, n-capacity, n, capacity)
+	}
+	// An evicted key is transparently refactored.
+	f, _, err := c.GetOrFactor(m.ID, m.ROM, complex(0, 1e6))
+	if err != nil || f == nil {
+		t.Fatalf("re-fetch after eviction: %v", err)
+	}
+}
+
+func TestFactorCacheErrorNotCached(t *testing.T) {
+	// A 1×1 block with C = G = 0 has a singular pencil at every s.
+	rom := &lti.BlockDiagSystem{M: 1, P: 1, Blocks: []lti.Block{{
+		C: dense.NewMat[float64](1, 1),
+		G: dense.NewMat[float64](1, 1),
+		B: []float64{1},
+		L: dense.NewMat[float64](1, 1),
+	}}}
+	c := NewFactorCache(16)
+	for i := 0; i < 2; i++ {
+		if _, _, err := c.GetOrFactor("bad", rom, complex(0, 1e9)); err == nil {
+			t.Fatalf("attempt %d: expected singular-pencil error", i)
+		}
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Misses != 2 {
+		t.Fatalf("failed factorizations left state %+v, want 0 entries / 2 misses", st)
+	}
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/lti"
+)
+
+// ErrRepositoryFull is returned by Repository.Get when admitting another
+// model would exceed the configured bound. Built ROMs are retained for the
+// process lifetime, so an unbounded repository would let arbitrary request
+// traffic grow memory without limit.
+var ErrRepositoryFull = errors.New("serve: model repository is full")
+
+// DefaultMaxModels bounds the repository when no explicit limit is given.
+const DefaultMaxModels = 64
+
+// maxConcurrentBuilds caps simultaneous grid builds + reductions; each build
+// already parallelizes internally across cores, and a reduction is the most
+// expensive operation a request can trigger.
+const maxConcurrentBuilds = 2
+
+// ModelKey identifies one reduced model in the repository: a Table II
+// benchmark analogue at a geometric scale, reduced with the given BDSM
+// parameters. Zero Moments/S0 select the paper's defaults for the benchmark
+// (grid.MatchedMoments, core.DefaultS0), so requests that spell the defaults
+// out and requests that omit them share one entry.
+type ModelKey struct {
+	Benchmark string  `json:"benchmark"`
+	Scale     float64 `json:"scale"`
+	Moments   int     `json:"moments,omitempty"`
+	S0        float64 `json:"s0,omitempty"`
+	RCOnly    bool    `json:"rc_only,omitempty"`
+}
+
+// MaxMoments bounds the per-column moment count a request may ask for. The
+// paper never uses more than 10; 64 leaves generous headroom while keeping
+// a hostile request from demanding an enormous reduction.
+const MaxMoments = 64
+
+// Normalize resolves defaulted fields to their effective values.
+func (k *ModelKey) Normalize() {
+	if k.Moments == 0 {
+		k.Moments = grid.MatchedMoments(k.Benchmark)
+	}
+	opts := core.Options{S0: k.S0, Moments: k.Moments}
+	opts.Normalize()
+	k.S0 = opts.S0
+}
+
+// Validate rejects parameter values that would silently build a degenerate
+// or abusive model (negative moment counts reduce to order-1 blocks;
+// non-positive expansion points have no meaning for this scheme). Benchmark
+// name and scale are validated by grid.Benchmark at build time.
+func (k *ModelKey) Validate() error {
+	if k.Moments < 0 || k.Moments > MaxMoments {
+		return fmt.Errorf("serve: moments must be in [0, %d] (0 = benchmark default), got %d", MaxMoments, k.Moments)
+	}
+	if k.S0 < 0 {
+		return fmt.Errorf("serve: s0 must be ≥ 0 (0 = default %g), got %g", core.DefaultS0, k.S0)
+	}
+	return nil
+}
+
+// ID returns the stable, URL-safe identifier of the normalized key.
+func (k ModelKey) ID() string {
+	k.Normalize()
+	id := fmt.Sprintf("%s-%g-l%d-s0%g", k.Benchmark, k.Scale, k.Moments, k.S0)
+	if k.RCOnly {
+		id += "-rc"
+	}
+	// %g renders 1e9 as "1e+09"; '+' is not query-string safe.
+	return strings.ReplaceAll(id, "+", "")
+}
+
+// Model is an immutable, share-everything handle to a reduced model. The ROM
+// and all metadata are read-only after construction, so one Model serves any
+// number of concurrent requests without locking.
+type Model struct {
+	ID  string   `json:"id"`
+	Key ModelKey `json:"key"`
+
+	// Nodes, Ports, Outputs are the dimensions of the unreduced grid model.
+	Nodes   int `json:"nodes"`
+	Ports   int `json:"ports"`
+	Outputs int `json:"outputs"`
+	// Order and Blocks describe the block-diagonal ROM.
+	Order  int `json:"order"`
+	Blocks int `json:"blocks"`
+
+	BuildTime  time.Duration `json:"build_ns"`
+	ReduceTime time.Duration `json:"reduce_ns"`
+	Created    time.Time     `json:"created"`
+
+	// ROM is the block-diagonal reduced model (immutable).
+	ROM *lti.BlockDiagSystem `json:"-"`
+	// GridKey fingerprints the generated grid configuration.
+	GridKey string `json:"-"`
+}
+
+// Repository builds and caches reduced models. Each distinct normalized
+// ModelKey is built exactly once — concurrent requests for the same key
+// coalesce onto a single grid build + BDSM reduction and all block until it
+// completes (single-flight). Successful builds are retained for the life of
+// the process, so admission is bounded by maxModels; failed builds are
+// dropped so callers can retry. At most maxConcurrentBuilds reductions run
+// at once — further distinct keys queue.
+type Repository struct {
+	mu        sync.Mutex
+	entries   map[ModelKey]*repoEntry
+	byID      map[string]*repoEntry
+	maxModels int
+	buildSem  chan struct{}
+}
+
+type repoEntry struct {
+	ready chan struct{} // closed when model/err are set
+	model *Model
+	err   error
+}
+
+// NewRepository returns an empty model repository bounded to maxModels
+// entries; maxModels <= 0 selects DefaultMaxModels.
+func NewRepository(maxModels int) *Repository {
+	if maxModels <= 0 {
+		maxModels = DefaultMaxModels
+	}
+	return &Repository{
+		entries:   make(map[ModelKey]*repoEntry),
+		byID:      make(map[string]*repoEntry),
+		maxModels: maxModels,
+		buildSem:  make(chan struct{}, maxConcurrentBuilds),
+	}
+}
+
+// Get returns the model for key, building it if absent. The second return
+// reports whether this call performed the build (false for cache hits and
+// for callers that waited on another in-flight build). Get fails with
+// ErrRepositoryFull when the model bound is reached.
+func (r *Repository) Get(key ModelKey) (*Model, bool, error) {
+	if err := key.Validate(); err != nil {
+		return nil, false, err
+	}
+	key.Normalize()
+	r.mu.Lock()
+	if e, ok := r.entries[key]; ok {
+		r.mu.Unlock()
+		<-e.ready
+		return e.model, false, e.err
+	}
+	if len(r.entries) >= r.maxModels {
+		r.mu.Unlock()
+		return nil, false, fmt.Errorf("%w (%d models)", ErrRepositoryFull, r.maxModels)
+	}
+	e := &repoEntry{ready: make(chan struct{})}
+	r.entries[key] = e
+	r.byID[key.ID()] = e
+	r.mu.Unlock()
+
+	e.model, e.err = safeBuild(key, r.buildSem)
+	close(e.ready)
+	if e.err != nil {
+		r.mu.Lock()
+		if r.entries[key] == e {
+			delete(r.entries, key)
+			delete(r.byID, key.ID())
+		}
+		r.mu.Unlock()
+		return nil, false, e.err
+	}
+	return e.model, true, nil
+}
+
+// Lookup resolves a model by its ID without triggering a build. It blocks if
+// the model is still reducing.
+func (r *Repository) Lookup(id string) (*Model, error) {
+	r.mu.Lock()
+	e, ok := r.byID[id]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q (POST /reduce first)", id)
+	}
+	<-e.ready
+	return e.model, e.err
+}
+
+// Models lists all successfully built models, sorted by ID. In-flight builds
+// are skipped rather than waited for.
+func (r *Repository) Models() []*Model {
+	r.mu.Lock()
+	entries := make([]*repoEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make([]*Model, 0, len(entries))
+	for _, e := range entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, e.model)
+			}
+		default:
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// safeBuild runs buildModel under the build semaphore, releasing the slot
+// and converting panics to errors on every exit path — a panicking build
+// must not strand a semaphore slot or leave single-flight waiters blocked
+// on a ready channel that never closes.
+func safeBuild(key ModelKey, sem chan struct{}) (m *Model, err error) {
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("serve: building %s panicked: %v", key.ID(), r)
+		}
+	}()
+	return buildModel(key)
+}
+
+// buildModel runs the full pipeline for one key: generate the synthetic
+// grid, stamp it into a descriptor system, and reduce it with BDSM.
+func buildModel(key ModelKey) (*Model, error) {
+	cfg, err := grid.Benchmark(key.Benchmark, key.Scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg.RCOnly = key.RCOnly
+
+	tBuild := time.Now()
+	gm, err := cfg.Build()
+	if err != nil {
+		return nil, fmt.Errorf("serve: building %s: %w", key.ID(), err)
+	}
+	sys, err := lti.NewSparseSystem(gm.C, gm.G, gm.B, gm.L)
+	if err != nil {
+		return nil, fmt.Errorf("serve: wrapping %s: %w", key.ID(), err)
+	}
+	buildTime := time.Since(tBuild)
+
+	tReduce := time.Now()
+	rom, err := core.Reduce(sys, core.Options{S0: key.S0, Moments: key.Moments})
+	if err != nil {
+		return nil, fmt.Errorf("serve: reducing %s: %w", key.ID(), err)
+	}
+	reduceTime := time.Since(tReduce)
+
+	n, m, p := sys.Dims()
+	order, _, _ := rom.Dims()
+	return &Model{
+		ID:         key.ID(),
+		Key:        key,
+		Nodes:      n,
+		Ports:      m,
+		Outputs:    p,
+		Order:      order,
+		Blocks:     len(rom.Blocks),
+		BuildTime:  buildTime,
+		ReduceTime: reduceTime,
+		Created:    time.Now(),
+		ROM:        rom,
+		GridKey:    cfg.Key(),
+	}, nil
+}

@@ -1,0 +1,468 @@
+// Package serve is the ROM-serving subsystem: a long-running service layer
+// that amortizes BDSM reduction and pencil factorization across many
+// concurrent requests.
+//
+// The paper's central advantage over input-dependent schemes (EKS/TBS) is
+// that the block-diagonal ROM is reusable — reduce once, evaluate under any
+// excitation. This package operationalizes that: a Repository builds each
+// (benchmark, scale, options) model exactly once and hands out immutable
+// handles; a FactorCache keeps per-frequency block pencil LU factors behind
+// a sharded LRU so repeated evaluations at common frequencies skip the
+// O(l³) refactorization; and an Engine fans batched AC sweeps and
+// transfer-matrix evaluations across a fixed worker pool. Server exposes the
+// whole thing over HTTP with JSON/NDJSON responses.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the evaluation pool size; 0 means runtime.NumCPU().
+	Workers int
+	// CacheCapacity bounds the factorization cache in entries; 0 selects
+	// the default (4096).
+	CacheCapacity int
+	// MaxModels bounds the model repository; 0 selects DefaultMaxModels.
+	MaxModels int
+	// MaxSweepPoints caps the per-request sweep/eval batch size; 0 means
+	// the default of 10000.
+	MaxSweepPoints int
+	// MaxEvalEntries caps the total complex entries (frequencies × p × m)
+	// one /eval request may return, bounding response memory for
+	// many-port models; 0 means the default of 1<<22 (~128 MB of
+	// complex128).
+	MaxEvalEntries int
+}
+
+// Server wires the repository, factorization cache, and evaluation engine
+// behind an http.Handler.
+type Server struct {
+	repo  *Repository
+	cache *FactorCache
+	eng   *Engine
+	cfg   Config
+	start time.Time
+}
+
+// New assembles a Server. Call Close to stop its worker pool.
+func New(cfg Config) *Server {
+	if cfg.MaxSweepPoints <= 0 {
+		cfg.MaxSweepPoints = 10000
+	}
+	if cfg.MaxEvalEntries <= 0 {
+		cfg.MaxEvalEntries = 1 << 22
+	}
+	return &Server{
+		repo:  NewRepository(cfg.MaxModels),
+		cache: NewFactorCache(cfg.CacheCapacity),
+		eng:   NewEngine(cfg.Workers),
+		cfg:   cfg,
+		start: time.Now(),
+	}
+}
+
+// Close stops the evaluation pool after draining in-flight tasks.
+func (s *Server) Close() { s.eng.Close() }
+
+// Repo exposes the model repository (used by preloading and tests).
+func (s *Server) Repo() *Repository { return s.repo }
+
+// Handler returns the HTTP API:
+//
+//	POST /reduce    build (or fetch) a model           → model info JSON
+//	POST /eval      batch-evaluate H(jω) at points     → JSON
+//	POST /sweep     AC sweep of one entry              → JSON or NDJSON
+//	POST /transient fixed-step transient run           → JSON or NDJSON
+//	GET  /models    list built models                  → JSON
+//	GET  /healthz   liveness + cache/pool stats        → JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /reduce", s.handleReduce)
+	mux.HandleFunc("POST /eval", s.handleEval)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("POST /transient", s.handleTransient)
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError carries a status code through handler plumbing.
+type httpError struct {
+	code int
+	err  error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		code = he.code
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// lookupModel resolves the "model" field of a request, mapping repository
+// misses to 404.
+func (s *Server) lookupModel(id string) (*Model, error) {
+	if id == "" {
+		return nil, badRequest("missing model id")
+	}
+	m, err := s.repo.Lookup(id)
+	if err != nil {
+		return nil, &httpError{code: http.StatusNotFound, err: err}
+	}
+	return m, nil
+}
+
+// reduceResponse is the model info returned by /reduce and /models.
+type reduceResponse struct {
+	*Model
+	ReduceMS float64 `json:"reduce_ms"`
+	// Cached reports whether the model already existed (this request did
+	// not pay the reduction).
+	Cached bool `json:"cached"`
+}
+
+func modelInfo(m *Model, cached bool) reduceResponse {
+	return reduceResponse{Model: m, ReduceMS: float64(m.ReduceTime) / 1e6, Cached: cached}
+}
+
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	var key ModelKey
+	if err := decodeBody(r, &key); err != nil {
+		writeErr(w, err)
+		return
+	}
+	// Reject malformed keys (unknown benchmark, bad scale, degenerate
+	// moments/s0) as client errors before committing to a build.
+	if _, err := grid.Benchmark(key.Benchmark, key.Scale); err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	if err := key.Validate(); err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	m, built, err := s.repo.Get(key)
+	switch {
+	case errors.Is(err, ErrRepositoryFull):
+		writeErr(w, &httpError{code: http.StatusTooManyRequests, err: err})
+		return
+	case err != nil:
+		writeErr(w, err) // build/reduction failure: server-side, 500
+		return
+	}
+	writeJSON(w, modelInfo(m, !built))
+}
+
+type evalRequest struct {
+	Model  string    `json:"model"`
+	Omegas []float64 `json:"omegas"`
+}
+
+// evalResponse holds, per frequency, the full p×m transfer matrix as
+// H[row][col] = [re, im].
+type evalResponse struct {
+	Model  string       `json:"model"`
+	Points []evalMatrix `json:"points"`
+}
+
+type evalMatrix struct {
+	Omega float64        `json:"omega"`
+	H     [][][2]float64 `json:"h"`
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	var req evalRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, err := s.lookupModel(req.Model)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if len(req.Omegas) == 0 || len(req.Omegas) > s.cfg.MaxSweepPoints {
+		writeErr(w, badRequest("omegas must have 1..%d entries, got %d", s.cfg.MaxSweepPoints, len(req.Omegas)))
+		return
+	}
+	// Budget the response by total entries, not frequency count: each
+	// frequency returns a full p×m matrix, which for many-port models
+	// dominates the request size.
+	if total := len(req.Omegas) * m.Outputs * m.Ports; total > s.cfg.MaxEvalEntries {
+		writeErr(w, badRequest("%d omegas × %d×%d matrix = %d entries exceeds limit %d; request fewer frequencies",
+			len(req.Omegas), m.Outputs, m.Ports, total, s.cfg.MaxEvalEntries))
+		return
+	}
+	for _, omega := range req.Omegas {
+		if omega <= 0 {
+			writeErr(w, badRequest("omegas must be positive, got %g", omega))
+			return
+		}
+	}
+	mats, err := EvalBatch(s.eng, s.cache, m, req.Omegas)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	resp := evalResponse{Model: m.ID, Points: make([]evalMatrix, len(mats))}
+	for k, h := range mats {
+		em := evalMatrix{Omega: req.Omegas[k], H: make([][][2]float64, h.Rows)}
+		for i := 0; i < h.Rows; i++ {
+			row := make([][2]float64, h.Cols)
+			for j := 0; j < h.Cols; j++ {
+				z := h.At(i, j)
+				row[j] = [2]float64{real(z), imag(z)}
+			}
+			em.H[i] = row
+		}
+		resp.Points[k] = em
+	}
+	writeJSON(w, resp)
+}
+
+type sweepRequest struct {
+	Model  string  `json:"model"`
+	Row    int     `json:"row"`
+	Col    int     `json:"col"`
+	WMin   float64 `json:"wmin"`
+	WMax   float64 `json:"wmax"`
+	Points int     `json:"points"`
+	// Format selects "json" (default, one array) or "ndjson" (streamed,
+	// one SweepPoint object per line).
+	Format string `json:"format,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, err := s.lookupModel(req.Model)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if req.Points > s.cfg.MaxSweepPoints {
+		writeErr(w, badRequest("points %d exceeds limit %d", req.Points, s.cfg.MaxSweepPoints))
+		return
+	}
+	// Sweep distinguishes validation errors (400) from evaluation
+	// failures, which surface as 500.
+	pts, err := Sweep(s.eng, s.cache, m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	switch strings.ToLower(req.Format) {
+	case "", "json":
+		writeJSON(w, map[string]any{"model": m.ID, "points": pts})
+	case "ndjson":
+		streamNDJSON(w, len(pts), func(enc *json.Encoder, i int) error { return enc.Encode(pts[i]) })
+	default:
+		writeErr(w, badRequest("unknown format %q (want json or ndjson)", req.Format))
+	}
+}
+
+// streamNDJSON writes n JSON lines, flushing as it goes so clients see rows
+// as they are produced.
+func streamNDJSON(w http.ResponseWriter, n int, row func(enc *json.Encoder, i int) error) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	fl, _ := w.(http.Flusher)
+	for i := 0; i < n; i++ {
+		if err := row(enc, i); err != nil {
+			return
+		}
+		if fl != nil && i%64 == 63 {
+			fl.Flush()
+		}
+	}
+	if fl != nil {
+		fl.Flush()
+	}
+}
+
+// sourceSpec describes a scalar waveform in a transient request.
+type sourceSpec struct {
+	Kind      string  `json:"kind"` // dc | step | pulse | sine | pwl
+	Value     float64 `json:"value,omitempty"`
+	Amplitude float64 `json:"amplitude,omitempty"`
+	Delay     float64 `json:"delay,omitempty"`
+	Low       float64 `json:"low,omitempty"`
+	High      float64 `json:"high,omitempty"`
+	Rise      float64 `json:"rise,omitempty"`
+	Fall      float64 `json:"fall,omitempty"`
+	Width     float64 `json:"width,omitempty"`
+	Period    float64 `json:"period,omitempty"`
+	Offset    float64 `json:"offset,omitempty"`
+	Freq      float64 `json:"freq,omitempty"`
+	T         []float64 `json:"t,omitempty"`
+	V         []float64 `json:"v,omitempty"`
+}
+
+func (sp *sourceSpec) source() (sim.Source, error) {
+	switch strings.ToLower(sp.Kind) {
+	case "dc":
+		return sim.DC(sp.Value), nil
+	case "step":
+		return sim.Step{Amplitude: sp.Amplitude, Delay: sp.Delay}, nil
+	case "pulse":
+		return sim.Pulse{Low: sp.Low, High: sp.High, Delay: sp.Delay,
+			Rise: sp.Rise, Fall: sp.Fall, Width: sp.Width, Period: sp.Period}, nil
+	case "sine":
+		return sim.Sine{Offset: sp.Offset, Amplitude: sp.Amplitude, Freq: sp.Freq, Delay: sp.Delay}, nil
+	case "pwl":
+		return sim.NewPWL(sp.T, sp.V)
+	default:
+		return nil, fmt.Errorf("unknown source kind %q (want dc|step|pulse|sine|pwl)", sp.Kind)
+	}
+}
+
+type transientRequest struct {
+	Model string     `json:"model"`
+	Dt    float64    `json:"dt"`
+	T     float64    `json:"t"`
+	Input sourceSpec `json:"input"`
+	// Ports optionally restricts the excitation to a subset of input
+	// ports; empty drives every port with the waveform.
+	Ports []int `json:"ports,omitempty"`
+	// Method selects "be" (default) or "trap".
+	Method string `json:"method,omitempty"`
+	Format string `json:"format,omitempty"`
+}
+
+// transientRow is one NDJSON row of a transient response.
+type transientRow struct {
+	T float64   `json:"t"`
+	Y []float64 `json:"y"`
+}
+
+func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
+	var req transientRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	m, err := s.lookupModel(req.Model)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	src, err := req.Input.source()
+	if err != nil {
+		writeErr(w, badRequest("%v", err))
+		return
+	}
+	var input sim.Input
+	if len(req.Ports) == 0 {
+		input = sim.UniformInput(src)
+	} else {
+		for _, p := range req.Ports {
+			if p < 0 || p >= m.Ports {
+				writeErr(w, badRequest("port %d out of range %d", p, m.Ports))
+				return
+			}
+		}
+		ports := append([]int(nil), req.Ports...)
+		input = func(t float64, u []float64) {
+			v := src.At(t)
+			for i := range u {
+				u[i] = 0
+			}
+			for _, p := range ports {
+				u[p] = v
+			}
+		}
+	}
+	var method sim.Method
+	switch strings.ToLower(req.Method) {
+	case "", "be":
+		method = sim.BackwardEuler
+	case "trap":
+		method = sim.Trapezoidal
+	default:
+		writeErr(w, badRequest("unknown method %q (want be or trap)", req.Method))
+		return
+	}
+	if req.Dt <= 0 || req.T <= 0 {
+		writeErr(w, badRequest("dt and t must be positive, got %g, %g", req.Dt, req.T))
+		return
+	}
+	if req.T/req.Dt > float64(s.cfg.MaxSweepPoints) {
+		writeErr(w, badRequest("step count %g exceeds limit %d", req.T/req.Dt, s.cfg.MaxSweepPoints))
+		return
+	}
+	res, err := Transient(s.eng, m, sim.TransientOptions{
+		Method: method, Dt: req.Dt, T: req.T, Input: input,
+	})
+	if err != nil {
+		writeErr(w, err) // inputs were validated above: integrator failure, 500
+		return
+	}
+	switch strings.ToLower(req.Format) {
+	case "", "json":
+		writeJSON(w, map[string]any{"model": m.ID, "t": res.T, "y": res.Y})
+	case "ndjson":
+		streamNDJSON(w, len(res.T), func(enc *json.Encoder, i int) error {
+			return enc.Encode(transientRow{T: res.T[i], Y: res.Y[i]})
+		})
+	default:
+		writeErr(w, badRequest("unknown format %q (want json or ndjson)", req.Format))
+	}
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	models := s.repo.Models()
+	out := make([]reduceResponse, len(models))
+	for i, m := range models {
+		out[i] = modelInfo(m, true)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"uptime_s":   time.Since(s.start).Seconds(),
+		"models":     len(s.repo.Models()),
+		"cache":      s.cache.Stats(),
+		"workers":    s.eng.Workers(),
+		"goroutines": runtime.NumGoroutine(),
+	})
+}

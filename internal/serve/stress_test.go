@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"errors"
+	"math/cmplx"
+	"sync"
+	"testing"
+)
+
+// TestRepositorySingleFlight hammers Get with identical and distinct keys
+// from many goroutines and checks every caller of a key receives the same
+// immutable *Model, built exactly once.
+func TestRepositorySingleFlight(t *testing.T) {
+	repo := NewRepository(0)
+	keys := []ModelKey{
+		{Benchmark: "ckt1", Scale: 0.08},
+		{Benchmark: "ckt1", Scale: 0.08, Moments: 6}, // normalizes to the same entry
+		{Benchmark: "ckt1", Scale: 0.12},
+	}
+	const goroutines = 24
+	models := make([]*Model, goroutines)
+	built := make([]bool, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m, b, err := repo.Get(keys[g%len(keys)])
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			models[g] = m
+			built[g] = b
+		}()
+	}
+	wg.Wait()
+	byID := make(map[string]*Model)
+	builds := 0
+	for g := 0; g < goroutines; g++ {
+		if models[g] == nil {
+			t.Fatalf("goroutine %d got no model", g)
+		}
+		if prev, ok := byID[models[g].ID]; ok && prev != models[g] {
+			t.Fatalf("model %s has two distinct handles", models[g].ID)
+		}
+		byID[models[g].ID] = models[g]
+		if built[g] {
+			builds++
+		}
+	}
+	if len(byID) != 2 {
+		t.Fatalf("got %d distinct models, want 2 (keys 0 and 1 normalize together)", len(byID))
+	}
+	if builds != 2 {
+		t.Fatalf("%d goroutines performed builds, want exactly 2", builds)
+	}
+	if got := len(repo.Models()); got != 2 {
+		t.Fatalf("repository lists %d models, want 2", got)
+	}
+}
+
+// TestRepositoryBound checks the admission limit: the repository refuses new
+// keys once full but keeps serving the models it holds.
+func TestRepositoryBound(t *testing.T) {
+	repo := NewRepository(2)
+	for _, scale := range []float64{0.08, 0.1} {
+		if _, _, err := repo.Get(ModelKey{Benchmark: "ckt1", Scale: scale}); err != nil {
+			t.Fatalf("admitting scale %g: %v", scale, err)
+		}
+	}
+	if _, _, err := repo.Get(ModelKey{Benchmark: "ckt1", Scale: 0.12}); !errors.Is(err, ErrRepositoryFull) {
+		t.Fatalf("third model: err = %v, want ErrRepositoryFull", err)
+	}
+	if _, built, err := repo.Get(ModelKey{Benchmark: "ckt1", Scale: 0.1}); err != nil || built {
+		t.Fatalf("resident model after full: built=%v err=%v", built, err)
+	}
+}
+
+// TestFactorCacheStress drives the cache from many goroutines over a small
+// frequency set, twice: once with room for every entry (pure hit path) and
+// once with a cache far smaller than the working set, forcing continuous
+// eviction and refactorization. Results must match the single-threaded
+// reference bit for bit either way. Run with -race.
+func TestFactorCacheStress(t *testing.T) {
+	m := testModel(t, 0.1)
+	freqs := make([]complex128, 8)
+	refs := make([][]complex128, 8)
+	for k := range freqs {
+		freqs[k] = complex(0, 1e6*float64(k+1))
+		f, err := m.ROM.Factorize(freqs[k])
+		if err != nil {
+			t.Fatalf("reference factorization %d: %v", k, err)
+		}
+		if refs[k], err = f.EvalColumn(0); err != nil {
+			t.Fatalf("reference eval %d: %v", k, err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name     string
+		capacity int
+	}{
+		{"roomy", 256},
+		{"thrashing", facShards}, // one slot per shard: constant eviction
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cache := NewFactorCache(tc.capacity)
+			const goroutines, iters = 16, 60
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < iters; i++ {
+						k := (g + i) % len(freqs)
+						f, _, err := cache.GetOrFactor(m.ID, m.ROM, freqs[k])
+						if err != nil {
+							t.Errorf("goroutine %d iter %d: %v", g, i, err)
+							return
+						}
+						col, err := f.EvalColumn(0)
+						if err != nil {
+							t.Errorf("goroutine %d iter %d: eval: %v", g, i, err)
+							return
+						}
+						for r := range col {
+							if cmplx.Abs(col[r]-refs[k][r]) != 0 {
+								t.Errorf("goroutine %d iter %d: row %d: got %v want %v",
+									g, i, r, col[r], refs[k][r])
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			st := cache.Stats()
+			if st.Hits+st.Misses < goroutines*iters {
+				t.Fatalf("stats lost accesses: %+v", st)
+			}
+		})
+	}
+}

@@ -15,16 +15,32 @@ type ACPoint struct {
 	H complex128
 }
 
-// ACSweepEntry evaluates H[row][col](jω) of any system over a logarithmic
-// frequency grid from wMin to wMax with the given number of points.
-func ACSweepEntry(sys lti.System, row, col int, wMin, wMax float64, points int) ([]ACPoint, error) {
+// LogGrid returns the logarithmic frequency grid from wMin to wMax with the
+// given number of points — the sampling shared by every AC sweep in the
+// library. Exposing the grid lets batched evaluators (the serving layer)
+// align sweeps from independent requests on identical frequency points, so
+// cached pencil factorizations are reused across requests.
+func LogGrid(wMin, wMax float64, points int) ([]float64, error) {
 	if wMin <= 0 || wMax <= wMin || points < 2 {
 		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g] × %d", wMin, wMax, points)
 	}
-	out := make([]ACPoint, points)
+	grid := make([]float64, points)
 	l0, l1 := math.Log10(wMin), math.Log10(wMax)
 	for k := 0; k < points; k++ {
-		w := math.Pow(10, l0+(l1-l0)*float64(k)/float64(points-1))
+		grid[k] = math.Pow(10, l0+(l1-l0)*float64(k)/float64(points-1))
+	}
+	return grid, nil
+}
+
+// ACSweepEntry evaluates H[row][col](jω) of any system over a logarithmic
+// frequency grid from wMin to wMax with the given number of points.
+func ACSweepEntry(sys lti.System, row, col int, wMin, wMax float64, points int) ([]ACPoint, error) {
+	grid, err := LogGrid(wMin, wMax, points)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ACPoint, points)
+	for k, w := range grid {
 		h, err := lti.EvalEntry(sys, complex(0, w), row, col)
 		if err != nil {
 			return nil, fmt.Errorf("sim: AC sweep at ω=%g: %w", w, err)
