@@ -3,7 +3,11 @@
 // evaluations, AC sweeps, and transient runs against the cached
 // block-diagonal ROMs to any number of concurrent clients.
 //
-//	pgserve -addr :8080 -preload ckt1@0.25,ckt2@0.1
+// With -store-dir, every reduction is persisted to a content-addressed ROM
+// store and read back on the next start: a warm restart registers its models
+// from disk in milliseconds instead of re-reducing them.
+//
+//	pgserve -addr :8080 -store-dir /var/lib/pgserve -preload ckt1@0.25,ckt2@0.1
 //
 //	curl -X POST localhost:8080/reduce -d '{"benchmark":"ckt1","scale":0.25}'
 //	curl -X POST localhost:8080/sweep \
@@ -24,18 +28,39 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = NumCPU)")
-	cacheCap := flag.Int("cache", 4096, "factorization cache capacity (entries)")
+	cacheMB := flag.Int64("cache-mb", 0, "factorization cache budget in MiB (0 = default 256)")
 	maxModels := flag.Int("max-models", 0, "model repository bound (0 = default)")
+	storeDir := flag.String("store-dir", "", "persistent ROM store directory (empty = in-memory only; reductions are written through and warm restarts skip reducing)")
 	preload := flag.String("preload", "", "comma-separated models to reduce at startup, each name@scale (e.g. ckt1@0.25)")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{Workers: *workers, CacheCapacity: *cacheCap, MaxModels: *maxModels})
+	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			log.Fatalf("pgserve: %v", err)
+		}
+		cfg.Store = st
+	}
+	srv := serve.New(cfg)
 	defer srv.Close()
+
+	if cfg.Store != nil {
+		t0 := time.Now()
+		n, err := srv.PreloadStore()
+		if err != nil {
+			log.Fatalf("pgserve: preloading store %s: %v", *storeDir, err)
+		}
+		st := cfg.Store.Stats()
+		log.Printf("store %s: %d model(s) preloaded (no reduction) in %v; %d entries, %d quarantined",
+			*storeDir, n, time.Since(t0).Round(time.Millisecond), st.Entries, st.Quarantined)
+	}
 
 	for _, spec := range strings.Split(*preload, ",") {
 		spec = strings.TrimSpace(spec)
@@ -47,12 +72,12 @@ func main() {
 			log.Fatalf("pgserve: -preload %q: %v", spec, err)
 		}
 		t0 := time.Now()
-		m, _, err := srv.Repo().Get(key)
+		m, outcome, err := srv.Repo().Get(key)
 		if err != nil {
 			log.Fatalf("pgserve: preloading %q: %v", spec, err)
 		}
-		log.Printf("preloaded %s: %d nodes -> order %d (%d blocks) in %v",
-			m.ID, m.Nodes, m.Order, m.Blocks, time.Since(t0).Round(time.Millisecond))
+		log.Printf("preloaded %s (%s): %d nodes -> order %d (%d blocks) in %v",
+			m.ID, outcome, m.Nodes, m.Order, m.Blocks, time.Since(t0).Round(time.Millisecond))
 	}
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -61,7 +86,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("pgserve listening on %s (workers=%d, cache=%d)", *addr, *workers, *cacheCap)
+	cacheMiB := *cacheMB
+	if cacheMiB <= 0 {
+		cacheMiB = serve.DefaultCacheBytes >> 20
+	}
+	log.Printf("pgserve listening on %s (workers=%d, cache=%dMiB, store=%q)",
+		*addr, *workers, cacheMiB, *storeDir)
 
 	select {
 	case err := <-errc:

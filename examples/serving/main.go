@@ -1,9 +1,12 @@
-// Example serving demonstrates the pgserve workflow end to end: it starts
-// the ROM service in-process, reduces a benchmark once via POST /reduce,
-// then fires many concurrent AC-sweep requests at it — the paper's
-// reduce-once / evaluate-many reusability argument, operationalized. The
-// second wave of sweeps reuses cached pencil factorizations, and the final
-// /healthz read shows the cache hit ratio.
+// Example serving demonstrates the pgserve workflow end to end, including
+// the persistent ROM store: it starts the ROM service in-process with a
+// store directory, reduces a benchmark once via POST /reduce (which also
+// pre-factors the standard sweep grid), fires many concurrent AC-sweep
+// requests at it, then simulates a process restart — a second server on the
+// same store directory preloads the ROM from disk and serves immediately,
+// with zero reductions performed. That is the paper's reduce-once /
+// evaluate-many reusability argument operationalized across process
+// lifetimes, not just within one.
 package main
 
 import (
@@ -13,41 +16,89 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
-	srv := serve.New(serve.Config{})
-	defer srv.Close()
+	dir, err := os.MkdirTemp("", "pgserve-store-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// ---- Process 1: cold start. The reduction is paid here, once. ----
+	base1, stop1 := startServer(dir)
+	fmt.Printf("cold server on %s (store %s)\n\n", base1, dir)
+
+	t0 := time.Now()
+	var info modelInfo
+	post(base1+"/reduce", map[string]any{"benchmark": "ckt2", "scale": 0.2}, &info)
+	fmt.Printf("reduced %d-node, %d-port grid -> order-%d ROM (%d blocks) in %v [source=%s]\n",
+		info.Nodes, info.Ports, info.Order, info.Blocks, time.Since(t0).Round(time.Millisecond), info.Source)
+
+	// Concurrent sweeps on the default grid: /reduce pre-factored exactly
+	// these frequencies while the engine was idle, so even the first wave
+	// is pure cache hits.
+	runWaves(base1, info)
+	printHealth(base1)
+	stop1()
+
+	// ---- Process 2: warm restart on the same store directory. ----
+	fmt.Printf("\n--- restart: new process, same -store-dir ---\n\n")
+	base2, stop2 := startServer(dir)
+	defer stop2()
+
+	t0 = time.Now()
+	var warm modelInfo
+	post(base2+"/reduce", map[string]any{"benchmark": "ckt2", "scale": 0.2}, &warm)
+	fmt.Printf("same model served in %v [source=%s, cached=%v] — reduction skipped\n",
+		time.Since(t0).Round(time.Microsecond), warm.Source, warm.Cached)
+	runWaves(base2, warm)
+	printHealth(base2)
+}
+
+type modelInfo struct {
+	ID     string `json:"id"`
+	Nodes  int    `json:"nodes"`
+	Ports  int    `json:"ports"`
+	Order  int    `json:"order"`
+	Blocks int    `json:"blocks"`
+	Source string `json:"source"`
+	Cached bool   `json:"cached"`
+}
+
+// startServer boots an in-process pgserve on the given store directory,
+// preloading whatever the store already holds (instant on an empty store).
+func startServer(dir string) (base string, stop func()) {
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Store: st})
+	if n, err := srv.PreloadStore(); err != nil {
+		log.Fatal(err)
+	} else if n > 0 {
+		fmt.Printf("preloaded %d model(s) from store, no reduction performed\n", n)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
 	go hs.Serve(ln)
-	defer hs.Close()
-	base := "http://" + ln.Addr().String()
-	fmt.Printf("pgserve serving on %s\n\n", base)
-
-	// Reduce once. Every sweep below reuses this block-diagonal ROM.
-	t0 := time.Now()
-	var info struct {
-		ID     string `json:"id"`
-		Nodes  int    `json:"nodes"`
-		Ports  int    `json:"ports"`
-		Order  int    `json:"order"`
-		Blocks int    `json:"blocks"`
+	return "http://" + ln.Addr().String(), func() {
+		hs.Close()
+		srv.Close()
 	}
-	post(base+"/reduce", map[string]any{"benchmark": "ckt2", "scale": 0.2}, &info)
-	fmt.Printf("reduced %d-node, %d-port grid -> order-%d ROM (%d blocks) in %v\n",
-		info.Nodes, info.Ports, info.Order, info.Blocks, time.Since(t0).Round(time.Millisecond))
+}
 
-	// Two waves of concurrent sweeps on the same frequency grid. Wave 1
-	// factors each frequency point once (across all requests — concurrent
-	// requests at the same point coalesce); wave 2 is all cache hits.
+// runWaves fires two waves of concurrent default-grid sweeps.
+func runWaves(base string, info modelInfo) {
 	const clients = 16
 	sweep := func(col int) {
 		var out struct {
@@ -55,12 +106,12 @@ func main() {
 				Omega, Mag float64
 			} `json:"points"`
 		}
+		// No wmin/wmax/points: the standard (pre-warmed) grid.
 		post(base+"/sweep", map[string]any{
 			"model": info.ID, "row": col % 3, "col": col,
-			"wmin": 1e5, "wmax": 1e15, "points": 300,
 		}, &out)
-		if len(out.Points) != 300 {
-			log.Fatalf("sweep returned %d points", len(out.Points))
+		if len(out.Points) == 0 {
+			log.Fatalf("sweep returned no points")
 		}
 	}
 	for wave := 1; wave <= 2; wave++ {
@@ -72,24 +123,34 @@ func main() {
 			go func() { defer wg.Done(); sweep(c % info.Ports) }()
 		}
 		wg.Wait()
-		fmt.Printf("wave %d: %d concurrent 300-point sweeps in %v\n",
+		fmt.Printf("wave %d: %d concurrent default-grid sweeps in %v\n",
 			wave, clients, time.Since(t).Round(time.Microsecond))
 	}
+}
 
+func printHealth(base string) {
 	var health struct {
 		Cache struct {
-			Entries   int   `json:"entries"`
-			Hits      int64 `json:"hits"`
-			Misses    int64 `json:"misses"`
-			Evictions int64 `json:"evictions"`
+			Entries     int   `json:"entries"`
+			Hits        int64 `json:"hits"`
+			Misses      int64 `json:"misses"`
+			Evictions   int64 `json:"evictions"`
+			BudgetBytes int64 `json:"budget_bytes"`
+			Bytes       int64 `json:"bytes"`
+			DiskHits    int64 `json:"disk_hits"`
 		} `json:"cache"`
+		Repo struct {
+			Builds   int64 `json:"builds"`
+			DiskHits int64 `json:"disk_hits"`
+		} `json:"repo"`
 		Workers int `json:"workers"`
 	}
 	get(base+"/healthz", &health)
 	c := health.Cache
-	fmt.Printf("\nfactorization cache: %d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions, %d workers\n",
-		c.Entries, c.Hits, c.Misses,
-		100*float64(c.Hits)/float64(c.Hits+c.Misses), c.Evictions, health.Workers)
+	fmt.Printf("cache: %d entries (%.1f/%d MiB), %d hits / %d misses (%.0f%% hit rate); repo: %d reductions, %d disk hits\n",
+		c.Entries, float64(c.Bytes)/(1<<20), c.BudgetBytes>>20,
+		c.Hits, c.Misses, 100*float64(c.Hits)/float64(c.Hits+c.Misses),
+		health.Repo.Builds, health.Repo.DiskHits)
 }
 
 func post(url string, body, out any) {

@@ -1,12 +1,24 @@
 package lti
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 
 	"repro/internal/dense"
 )
+
+// BlockDiagFormatVersion is the on-wire format version written by
+// SaveBlockDiag and required by LoadBlockDiag. A persistent ROM store built
+// on this format survives process restarts, so the version is checked
+// strictly: a stream written by a different version is rejected rather than
+// decoded on a best-effort basis, and a content checksum rejects streams
+// whose bytes decoded but were corrupted in storage or transit. Bump this
+// whenever the encoded shape or semantics change.
+const BlockDiagFormatVersion = 1
 
 // The gob wire types deliberately mirror the public structs field-for-field
 // so the on-disk format is stable against internal refactors.
@@ -24,6 +36,20 @@ func fromGobMat(g gobMat) *dense.Mat[float64] {
 	return &dense.Mat[float64]{Rows: g.Rows, Cols: g.Cols, Data: g.Data}
 }
 
+// validate rejects decoded matrices whose data length disagrees with their
+// declared shape. Mat methods index Data by Rows/Cols arithmetic, so a
+// crafted or corrupted stream that lied about its shape would otherwise
+// panic (or silently alias memory) on first use instead of failing decode.
+func (g *gobMat) validate(what string) error {
+	if g.Rows < 0 || g.Cols < 0 {
+		return fmt.Errorf("lti: %s has negative shape %d×%d", what, g.Rows, g.Cols)
+	}
+	if len(g.Data) != g.Rows*g.Cols {
+		return fmt.Errorf("lti: %s declares %d×%d but carries %d values", what, g.Rows, g.Cols, len(g.Data))
+	}
+	return nil
+}
+
 type gobBlock struct {
 	C, G, L gobMat
 	B       []float64
@@ -31,18 +57,61 @@ type gobBlock struct {
 }
 
 type gobBlockDiag struct {
-	Blocks []gobBlock
-	M, P   int
+	// Version pins the format; see BlockDiagFormatVersion.
+	Version int
+	Blocks  []gobBlock
+	M, P    int
+	// Checksum is an FNV-64a digest of the dimensions and raw float bits of
+	// every block, computed by checksumBlockDiag. It detects storage-level
+	// corruption (bit flips) that gob itself decodes without complaint.
+	Checksum uint64
+}
+
+// checksumBlockDiag digests the structural and numeric content of the wire
+// form: dimensions, input indices, and the IEEE-754 bit patterns of every
+// matrix entry. Float bits (not values) make the digest exact — two ROMs
+// differing in one ulp, or a NaN with a flipped payload bit, hash apart.
+func checksumBlockDiag(g *gobBlockDiag) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v int) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+		h.Write(buf[:])
+	}
+	wf := func(vs []float64) {
+		for _, v := range vs {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
+		}
+	}
+	wi(g.M)
+	wi(g.P)
+	wi(len(g.Blocks))
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		wi(b.Input)
+		for _, m := range []*gobMat{&b.C, &b.G, &b.L} {
+			wi(m.Rows)
+			wi(m.Cols)
+			wf(m.Data)
+		}
+		wi(len(b.B))
+		wf(b.B)
+	}
+	return h.Sum64()
 }
 
 // SaveBlockDiag serializes a block-diagonal ROM. A saved ROM is the paper's
 // "reusable" artifact: build once, simulate under arbitrarily many input
-// patterns later (Sec. I criterion 2).
+// patterns later (Sec. I criterion 2). The stream carries a format version
+// and a content checksum so a loader can distinguish "written by other
+// code" from "corrupted in storage" — the persistent ROM store depends on
+// both signals to quarantine bad files instead of serving wrong models.
 func SaveBlockDiag(w io.Writer, bd *BlockDiagSystem) error {
 	if err := bd.Validate(); err != nil {
 		return fmt.Errorf("lti: refusing to save invalid ROM: %w", err)
 	}
-	g := gobBlockDiag{M: bd.M, P: bd.P}
+	g := gobBlockDiag{Version: BlockDiagFormatVersion, M: bd.M, P: bd.P}
 	for i := range bd.Blocks {
 		b := &bd.Blocks[i]
 		g.Blocks = append(g.Blocks, gobBlock{
@@ -50,18 +119,44 @@ func SaveBlockDiag(w io.Writer, bd *BlockDiagSystem) error {
 			B: b.B, Input: b.Input,
 		})
 	}
+	g.Checksum = checksumBlockDiag(&g)
 	return gob.NewEncoder(w).Encode(&g)
 }
 
 // LoadBlockDiag deserializes a block-diagonal ROM saved by SaveBlockDiag.
+// It rejects — with an error, never a panic and never a silently wrong
+// model — streams written by a different format version, streams whose
+// content checksum does not match, and streams whose decoded blocks are
+// dimensionally inconsistent.
 func LoadBlockDiag(r io.Reader) (*BlockDiagSystem, error) {
 	var g gobBlockDiag
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("lti: decoding ROM: %w", err)
 	}
+	if g.Version != BlockDiagFormatVersion {
+		return nil, fmt.Errorf("lti: ROM format version %d, this build reads version %d", g.Version, BlockDiagFormatVersion)
+	}
+	sum := g.Checksum
+	g.Checksum = 0
+	g.Checksum = checksumBlockDiag(&g)
+	if g.Checksum != sum {
+		return nil, fmt.Errorf("lti: ROM checksum mismatch (stored %016x, computed %016x): corrupt stream", sum, g.Checksum)
+	}
 	bd := &BlockDiagSystem{M: g.M, P: g.P}
 	for i := range g.Blocks {
 		gb := &g.Blocks[i]
+		for _, m := range []struct {
+			g    *gobMat
+			what string
+		}{
+			{&gb.C, fmt.Sprintf("block %d C", i)},
+			{&gb.G, fmt.Sprintf("block %d G", i)},
+			{&gb.L, fmt.Sprintf("block %d L", i)},
+		} {
+			if err := m.g.validate(m.what); err != nil {
+				return nil, err
+			}
+		}
 		bd.Blocks = append(bd.Blocks, Block{
 			C: fromGobMat(gb.C), G: fromGobMat(gb.G), L: fromGobMat(gb.L),
 			B: gb.B, Input: gb.Input,
@@ -88,6 +183,14 @@ func LoadDense(r io.Reader) (*DenseSystem, error) {
 	var g gobDense
 	if err := gob.NewDecoder(r).Decode(&g); err != nil {
 		return nil, fmt.Errorf("lti: decoding ROM: %w", err)
+	}
+	for _, m := range []struct {
+		g    *gobMat
+		what string
+	}{{&g.C, "C"}, {&g.G, "G"}, {&g.B, "B"}, {&g.L, "L"}} {
+		if err := m.g.validate(m.what); err != nil {
+			return nil, err
+		}
 	}
 	return NewDenseSystem(fromGobMat(g.C), fromGobMat(g.G), fromGobMat(g.B), fromGobMat(g.L))
 }

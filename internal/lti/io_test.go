@@ -1,0 +1,244 @@
+package lti
+
+import (
+	"bytes"
+	"encoding/gob"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden ROM fixtures under testdata/")
+
+// goldenBlockDiag is a small, fully deterministic ROM covering the format's
+// degrees of freedom: blocks of different orders, multiple blocks on one
+// input, irrational values (exact float64 bit patterns), and zeros.
+func goldenBlockDiag() *BlockDiagSystem {
+	return &BlockDiagSystem{
+		M: 2,
+		P: 2,
+		Blocks: []Block{
+			{
+				C:     &dense.Mat[float64]{Rows: 2, Cols: 2, Data: []float64{1.5, 0.25, 0, 2}},
+				G:     &dense.Mat[float64]{Rows: 2, Cols: 2, Data: []float64{1, -0.5, 0.125, 3}},
+				B:     []float64{1, -2},
+				L:     &dense.Mat[float64]{Rows: 2, Cols: 2, Data: []float64{0.5, 1, -1, 0.25}},
+				Input: 0,
+			},
+			{
+				C:     &dense.Mat[float64]{Rows: 3, Cols: 3, Data: []float64{math.Pi, 0, 0, 0, math.Sqrt2, 1e-12, 0, -1e-12, math.E}},
+				G:     &dense.Mat[float64]{Rows: 3, Cols: 3, Data: []float64{2, 1, 0, 1, 2, 1, 0, 1, 2}},
+				B:     []float64{1e9, -1e-9, 0},
+				L:     &dense.Mat[float64]{Rows: 2, Cols: 3, Data: []float64{1, 0, -1, 0.5, 0.5, 0.5}},
+				Input: 1,
+			},
+			{
+				C:     &dense.Mat[float64]{Rows: 1, Cols: 1, Data: []float64{1}},
+				G:     &dense.Mat[float64]{Rows: 1, Cols: 1, Data: []float64{0.75}},
+				B:     []float64{-3},
+				L:     &dense.Mat[float64]{Rows: 2, Cols: 1, Data: []float64{0.1, 0.2}},
+				Input: 0,
+			},
+		},
+	}
+}
+
+func encodeGolden(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveBlockDiag(&buf, goldenBlockDiag()); err != nil {
+		t.Fatalf("SaveBlockDiag: %v", err)
+	}
+	return buf.Bytes()
+}
+
+const goldenROMPath = "testdata/blockdiag_v1.rom"
+
+// TestBlockDiagGoldenFile pins the serialized format: the committed fixture
+// must decode to exactly the in-code golden ROM, and today's encoder must
+// reproduce the fixture byte for byte. A format change that silently breaks
+// previously written stores fails here instead of corrupting warm restarts.
+func TestBlockDiagGoldenFile(t *testing.T) {
+	enc := encodeGolden(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenROMPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenROMPath, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixture, err := os.ReadFile(goldenROMPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(enc, fixture) {
+		t.Fatalf("SaveBlockDiag output diverged from %s (%d vs %d bytes): the on-disk format changed; bump BlockDiagFormatVersion and regenerate with -update", goldenROMPath, len(enc), len(fixture))
+	}
+	got, err := LoadBlockDiag(bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatalf("LoadBlockDiag(fixture): %v", err)
+	}
+	if !reflect.DeepEqual(got, goldenBlockDiag()) {
+		t.Fatalf("fixture decoded to a different ROM:\n got %+v\nwant %+v", got, goldenBlockDiag())
+	}
+}
+
+// TestLoadBlockDiagTruncated feeds prefixes of a valid stream: every
+// truncation must fail cleanly.
+func TestLoadBlockDiagTruncated(t *testing.T) {
+	enc := encodeGolden(t)
+	for _, n := range []int{0, 1, 7, len(enc) / 4, len(enc) / 2, len(enc) - 1} {
+		if _, err := LoadBlockDiag(bytes.NewReader(enc[:n])); err == nil {
+			t.Errorf("LoadBlockDiag of %d/%d-byte prefix succeeded", n, len(enc))
+		}
+	}
+}
+
+// TestLoadBlockDiagBitFlips flips one bit at every byte position of a valid
+// stream. Each corrupted stream must either fail to load or (if the flip
+// landed on redundant encoding) load to exactly the original ROM — a
+// silently wrong ROM is the one unacceptable outcome.
+func TestLoadBlockDiagBitFlips(t *testing.T) {
+	enc := encodeGolden(t)
+	want := goldenBlockDiag()
+	for pos := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 1 << (pos % 8)
+		got, err := func() (bd *BlockDiagSystem, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flip at byte %d: LoadBlockDiag panicked: %v", pos, r)
+				}
+			}()
+			return LoadBlockDiag(bytes.NewReader(mut))
+		}()
+		if err == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("flip at byte %d loaded a silently different ROM", pos)
+		}
+	}
+}
+
+// encodeWire gob-encodes a raw wire struct, bypassing SaveBlockDiag's
+// validation, to craft adversarial streams.
+func encodeWire(t *testing.T, g *gobBlockDiag) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+		t.Fatalf("encoding crafted stream: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// goldenWire returns the golden ROM in wire form with a correct checksum,
+// ready to be mutated by adversarial tests.
+func goldenWire(t *testing.T) *gobBlockDiag {
+	t.Helper()
+	bd := goldenBlockDiag()
+	g := &gobBlockDiag{Version: BlockDiagFormatVersion, M: bd.M, P: bd.P}
+	for i := range bd.Blocks {
+		b := &bd.Blocks[i]
+		g.Blocks = append(g.Blocks, gobBlock{
+			C: toGobMat(b.C), G: toGobMat(b.G), L: toGobMat(b.L),
+			B: b.B, Input: b.Input,
+		})
+	}
+	g.Checksum = checksumBlockDiag(g)
+	return g
+}
+
+func TestLoadBlockDiagWrongVersion(t *testing.T) {
+	for _, version := range []int{0, 2, 99, -1} {
+		g := goldenWire(t)
+		g.Version = version
+		g.Checksum = 0
+		g.Checksum = checksumBlockDiag(g)
+		_, err := LoadBlockDiag(bytes.NewReader(encodeWire(t, g)))
+		if err == nil || !strings.Contains(err.Error(), "version") {
+			t.Errorf("version %d: err = %v, want version mismatch", version, err)
+		}
+	}
+}
+
+func TestLoadBlockDiagChecksumMismatch(t *testing.T) {
+	g := goldenWire(t)
+	g.Blocks[0].G.Data[1] = 12345 // corrupt content without refreshing the checksum
+	_, err := LoadBlockDiag(bytes.NewReader(encodeWire(t, g)))
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v, want checksum mismatch", err)
+	}
+}
+
+// TestLoadBlockDiagBadDimensions crafts streams with valid checksums but
+// dimensionally inconsistent blocks; all must be rejected without panicking.
+func TestLoadBlockDiagBadDimensions(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*gobBlockDiag)
+	}{
+		{"short matrix data", func(g *gobBlockDiag) { g.Blocks[0].C.Data = g.Blocks[0].C.Data[:2] }},
+		{"negative rows", func(g *gobBlockDiag) { g.Blocks[0].C.Rows = -2 }},
+		{"non-square C", func(g *gobBlockDiag) { g.Blocks[0].C.Rows, g.Blocks[0].C.Cols = 1, 4 }},
+		{"G shape mismatch", func(g *gobBlockDiag) { g.Blocks[1].G = gobMat{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}} }},
+		{"B length mismatch", func(g *gobBlockDiag) { g.Blocks[0].B = []float64{1} }},
+		{"L row mismatch", func(g *gobBlockDiag) { g.Blocks[2].L = gobMat{Rows: 3, Cols: 1, Data: []float64{1, 2, 3}} }},
+		{"input out of range", func(g *gobBlockDiag) { g.Blocks[1].Input = 7 }},
+		{"negative input", func(g *gobBlockDiag) { g.Blocks[1].Input = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("LoadBlockDiag panicked: %v", r)
+				}
+			}()
+			g := goldenWire(t)
+			tc.mutate(g)
+			g.Checksum = 0
+			g.Checksum = checksumBlockDiag(g)
+			bd, err := LoadBlockDiag(bytes.NewReader(encodeWire(t, g)))
+			if err == nil {
+				t.Fatalf("crafted stream loaded: %+v", bd)
+			}
+		})
+	}
+}
+
+// TestSaveBlockDiagRejectsInvalid keeps the save path honest too: an
+// in-memory ROM that fails validation must not reach disk.
+func TestSaveBlockDiagRejectsInvalid(t *testing.T) {
+	bd := goldenBlockDiag()
+	bd.Blocks[0].Input = 9
+	if err := SaveBlockDiag(&bytes.Buffer{}, bd); err == nil {
+		t.Fatal("saved a ROM with an out-of-range input index")
+	}
+}
+
+// TestChecksumCoversEveryField documents what the digest protects: any
+// change to dims, inputs, or values changes the checksum.
+func TestChecksumCoversEveryField(t *testing.T) {
+	base := checksumBlockDiag(goldenWire(t))
+	mutations := []func(*gobBlockDiag){
+		func(g *gobBlockDiag) { g.M = 3 },
+		func(g *gobBlockDiag) { g.P = 3 },
+		func(g *gobBlockDiag) { g.Blocks = g.Blocks[:2] },
+		func(g *gobBlockDiag) { g.Blocks[0].Input = 1 },
+		func(g *gobBlockDiag) { g.Blocks[0].C.Data[0] = math.Nextafter(g.Blocks[0].C.Data[0], 2) },
+		func(g *gobBlockDiag) { g.Blocks[1].B[2] = math.Copysign(0, -1) }, // -0 vs +0: distinct bits
+		func(g *gobBlockDiag) { g.Blocks[2].L.Rows, g.Blocks[2].L.Cols = 1, 2 },
+	}
+	for i, mutate := range mutations {
+		g := goldenWire(t)
+		g.Checksum = 0
+		mutate(g)
+		if checksumBlockDiag(g) == base {
+			t.Errorf("mutation %d did not change the checksum", i)
+		}
+	}
+}

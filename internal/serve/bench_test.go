@@ -22,7 +22,7 @@ func BenchmarkEvalColdFactorization(b *testing.B) {
 
 func BenchmarkEvalCachedFactorization(b *testing.B) {
 	m := testModel(b, 0.25)
-	cache := NewFactorCache(64)
+	cache := NewFactorCache(0)
 	s := complex(0, 1e9)
 	if _, _, err := cache.GetOrFactor(m.ID, m.ROM, s); err != nil {
 		b.Fatal(err)
@@ -45,7 +45,7 @@ func BenchmarkEvalCachedFactorization(b *testing.B) {
 // the cache.
 func BenchmarkSweepRepeated(b *testing.B) {
 	m := testModel(b, 0.25)
-	cache := NewFactorCache(1024)
+	cache := NewFactorCache(0)
 	eng := NewEngine(0)
 	defer eng.Close()
 	if _, err := Sweep(eng, cache, m, 0, 0, 1e5, 1e15, 200); err != nil {

@@ -17,6 +17,13 @@ import (
 // frequencies almost always land on different shards.
 const facShards = 16
 
+// DefaultCacheBytes is the factorization cache budget when none is given.
+// Factorizations are the dominant steady-state memory consumer of a serving
+// process, so the budget is expressed in bytes (via BlockDiagFactors.
+// MemBytes), not entries: a full-matrix factorization of a large model and a
+// single-column factorization of a small one differ by orders of magnitude.
+const DefaultCacheBytes int64 = 256 << 20
+
 // facKey identifies one cached factorization: a model, a complex frequency
 // point, and either the full block set (col = -1) or the blocks of a single
 // input column. Sweeps over the shared log grid (sim.LogGrid) produce
@@ -49,40 +56,52 @@ type facEntry struct {
 	ready   chan struct{}
 	factors *lti.BlockDiagFactors
 	err     error
+	// bytes is the entry's accounted size; written under the shard lock once
+	// the factorization completes. Zero means in-flight (not yet accounted),
+	// so the eviction scan can tell residents from pending entries without
+	// blocking on ready.
+	bytes int64
 }
 
 type facShard struct {
 	mu    sync.Mutex
 	items map[facKey]*list.Element
 	order *list.List // front = most recently used
+	bytes int64      // sum of accounted entry sizes
 }
 
-// FactorCache is a bounded, sharded LRU cache of per-frequency block pencil
-// factorizations. It amortizes the O(l³) factor cost of BlockDiagSystem
-// evaluation across requests: an AC sweep re-run at the same grid, or many
-// concurrent requests touching a common frequency, pay the factorization
-// once and the O(l²) solves every time after.
+// FactorCache is a byte-budgeted, sharded LRU cache of per-frequency block
+// pencil factorizations. It amortizes the O(l³) factor cost of
+// BlockDiagSystem evaluation across requests: an AC sweep re-run at the same
+// grid, or many concurrent requests touching a common frequency, pay the
+// factorization once and the O(l²) solves every time after.
+//
+// Admission is byte-budgeted: each completed factorization is charged its
+// MemBytes against a per-shard budget, evicting least-recently-used entries
+// to make room; a single factorization larger than a shard's whole budget is
+// handed to its caller but never retained (counted in Rejects).
 type FactorCache struct {
-	shards   [facShards]facShard
-	perShard int
+	shards      [facShards]facShard
+	shardBudget int64
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+	rejects   atomic.Int64
 }
 
-// NewFactorCache returns a cache bounded to roughly capacity entries
-// (rounded up to a multiple of the shard count). capacity <= 0 selects the
-// default of 4096 entries.
-func NewFactorCache(capacity int) *FactorCache {
-	if capacity <= 0 {
-		capacity = 4096
+// NewFactorCache returns a cache bounded to roughly budgetBytes of retained
+// factorizations (split evenly across shards). budgetBytes <= 0 selects
+// DefaultCacheBytes.
+func NewFactorCache(budgetBytes int64) *FactorCache {
+	if budgetBytes <= 0 {
+		budgetBytes = DefaultCacheBytes
 	}
-	per := (capacity + facShards - 1) / facShards
+	per := budgetBytes / facShards
 	if per < 1 {
 		per = 1
 	}
-	c := &FactorCache{perShard: per}
+	c := &FactorCache{shardBudget: per}
 	for i := range c.shards {
 		c.shards[i].items = make(map[facKey]*list.Element)
 		c.shards[i].order = list.New()
@@ -125,18 +144,12 @@ func (c *FactorCache) getOrFactor(k facKey, rom *lti.BlockDiagSystem) (*lti.Bloc
 	e := &facEntry{key: k, ready: make(chan struct{})}
 	el := sh.order.PushFront(e)
 	sh.items[k] = el
-	if sh.order.Len() > c.perShard {
-		oldest := sh.order.Back()
-		sh.order.Remove(oldest)
-		delete(sh.items, oldest.Value.(*facEntry).key)
-		c.evictions.Add(1)
-	}
 	sh.mu.Unlock()
 
 	c.misses.Add(1)
 	e.factors, e.err = safeFactorize(rom, k)
-	close(e.ready)
 	if e.err != nil {
+		close(e.ready)
 		sh.mu.Lock()
 		if cur, ok := sh.items[k]; ok && cur == el {
 			sh.order.Remove(el)
@@ -145,7 +158,58 @@ func (c *FactorCache) getOrFactor(k facKey, rom *lti.BlockDiagSystem) (*lti.Bloc
 		sh.mu.Unlock()
 		return nil, false, e.err
 	}
+
+	// Admission: account the completed entry against the shard budget, or
+	// drop it if it alone exceeds the budget. Either way the caller keeps
+	// the factors it paid for. A degenerate factorization (a column that
+	// drives no blocks) reports zero bytes; charge it one so it never
+	// masquerades as the in-flight sentinel (bytes == 0) and stays evictable.
+	size := e.factors.MemBytes()
+	if size <= 0 {
+		size = 1
+	}
+	sh.mu.Lock()
+	if cur, ok := sh.items[k]; ok && cur == el { // still resident (not evicted mid-flight)
+		if size > c.shardBudget {
+			sh.order.Remove(el)
+			delete(sh.items, k)
+			c.rejects.Add(1)
+		} else {
+			e.bytes = size
+			sh.bytes += size
+			c.evictOverBudget(sh, el)
+		}
+	}
+	sh.mu.Unlock()
+	close(e.ready)
 	return e.factors, false, nil
+}
+
+// evictOverBudget removes least-recently-used accounted entries until the
+// shard fits its budget, never evicting keep (the entry that triggered the
+// pass) or in-flight entries (bytes == 0), which account themselves on
+// completion. Caller holds sh.mu.
+func (c *FactorCache) evictOverBudget(sh *facShard, keep *list.Element) {
+	for sh.bytes > c.shardBudget {
+		var victim *list.Element
+		for el := sh.order.Back(); el != nil; el = el.Prev() {
+			if el == keep {
+				continue
+			}
+			if el.Value.(*facEntry).bytes > 0 {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			return
+		}
+		ve := victim.Value.(*facEntry)
+		sh.order.Remove(victim)
+		delete(sh.items, ve.key)
+		sh.bytes -= ve.bytes
+		c.evictions.Add(1)
+	}
 }
 
 // safeFactorize converts a panic anywhere under Factorize into an error, so
@@ -169,31 +233,33 @@ type CacheStats struct {
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	// Bytes approximates the memory retained by resident, completed
-	// factorizations.
-	Bytes int64 `json:"bytes"`
+	// Rejects counts factorizations that completed but were too large to
+	// retain under the byte budget.
+	Rejects int64 `json:"rejects"`
+	// BudgetBytes is the effective retention budget; Bytes is the memory
+	// currently accounted to resident, completed factorizations.
+	BudgetBytes int64 `json:"budget_bytes"`
+	Bytes       int64 `json:"bytes"`
+	// DiskHits and DiskMisses mirror the model repository's persistent-store
+	// counters; the Server fills them in when reporting merged stats.
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
 }
 
 // Stats reports cache occupancy and hit/miss/eviction counters.
 func (c *FactorCache) Stats() CacheStats {
-	var st CacheStats
-	st.Hits = c.hits.Load()
-	st.Misses = c.misses.Load()
-	st.Evictions = c.evictions.Load()
+	st := CacheStats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		Rejects:     c.rejects.Load(),
+		BudgetBytes: c.shardBudget * facShards,
+	}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
 		st.Entries += sh.order.Len()
-		for el := sh.order.Front(); el != nil; el = el.Next() {
-			e := el.Value.(*facEntry)
-			select {
-			case <-e.ready:
-				if e.err == nil {
-					st.Bytes += e.factors.MemBytes()
-				}
-			default: // still factoring; skip rather than block
-			}
-		}
+		st.Bytes += sh.bytes
 		sh.mu.Unlock()
 	}
 	return st

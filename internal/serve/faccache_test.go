@@ -18,7 +18,7 @@ func testModel(t testing.TB, scale float64) *Model {
 
 func TestFactorCacheHit(t *testing.T) {
 	m := testModel(t, 0.1)
-	c := NewFactorCache(64)
+	c := NewFactorCache(0)
 	s := complex(0, 1e9)
 
 	f1, hit, err := c.GetOrFactor(m.ID, m.ROM, s)
@@ -45,6 +45,12 @@ func TestFactorCacheHit(t *testing.T) {
 	if st.Bytes <= 0 {
 		t.Fatalf("resident factors report %d bytes", st.Bytes)
 	}
+	if st.BudgetBytes < DefaultCacheBytes {
+		t.Fatalf("budget = %d, want ≥ default %d", st.BudgetBytes, DefaultCacheBytes)
+	}
+	if st.Bytes != f1.MemBytes() {
+		t.Fatalf("accounted %d bytes, resident factors occupy %d", st.Bytes, f1.MemBytes())
+	}
 
 	// Distinct models must not share entries even at equal frequency.
 	if _, hit, _ := c.GetOrFactor(m.ID+"-other", m.ROM, s); hit {
@@ -54,7 +60,7 @@ func TestFactorCacheHit(t *testing.T) {
 
 func TestFactorCacheColumnEntries(t *testing.T) {
 	m := testModel(t, 0.1)
-	c := NewFactorCache(64)
+	c := NewFactorCache(0)
 	s := complex(0, 1e9)
 
 	fc, hit, err := c.GetOrFactorColumn(m.ID, m.ROM, s, 0)
@@ -95,10 +101,17 @@ func TestFactorCacheColumnEntries(t *testing.T) {
 	}
 }
 
-func TestFactorCacheEviction(t *testing.T) {
+func TestFactorCacheByteBudgetEviction(t *testing.T) {
 	m := testModel(t, 0.1)
-	capacity := facShards // one entry per shard
-	c := NewFactorCache(capacity)
+	// Size the budget to exactly one full factorization per shard: every
+	// entry is the same size (MemBytes depends only on dimensions), so a
+	// shard receiving a second key must evict its first.
+	ref, err := m.ROM.Factorize(complex(0, 1e6))
+	if err != nil {
+		t.Fatalf("reference factorization: %v", err)
+	}
+	entryBytes := ref.MemBytes()
+	c := NewFactorCache(entryBytes * facShards)
 
 	const n = 3 * facShards
 	for k := 0; k < n; k++ {
@@ -108,17 +121,47 @@ func TestFactorCacheEviction(t *testing.T) {
 		}
 	}
 	st := c.Stats()
-	if st.Entries > capacity {
-		t.Fatalf("cache holds %d entries, bound is %d", st.Entries, capacity)
+	if st.Entries > facShards {
+		t.Fatalf("cache holds %d entries, byte budget allows %d", st.Entries, facShards)
 	}
-	if st.Evictions < int64(n-capacity) {
-		t.Fatalf("evictions = %d, want ≥ %d after inserting %d into capacity %d",
-			st.Evictions, n-capacity, n, capacity)
+	if st.Bytes > st.BudgetBytes {
+		t.Fatalf("cache accounts %d bytes over budget %d", st.Bytes, st.BudgetBytes)
+	}
+	if st.Bytes != int64(st.Entries)*entryBytes {
+		t.Fatalf("accounted %d bytes for %d entries of %d bytes each", st.Bytes, st.Entries, entryBytes)
+	}
+	if st.Evictions < int64(n-facShards) {
+		t.Fatalf("evictions = %d, want ≥ %d after inserting %d into a %d-entry budget",
+			st.Evictions, n-facShards, n, facShards)
+	}
+	if st.Rejects != 0 {
+		t.Fatalf("rejects = %d for entries that fit the shard budget", st.Rejects)
 	}
 	// An evicted key is transparently refactored.
 	f, _, err := c.GetOrFactor(m.ID, m.ROM, complex(0, 1e6))
 	if err != nil || f == nil {
 		t.Fatalf("re-fetch after eviction: %v", err)
+	}
+}
+
+// TestFactorCacheAdmissionReject: a factorization larger than a whole shard
+// budget is returned to its caller but never retained.
+func TestFactorCacheAdmissionReject(t *testing.T) {
+	m := testModel(t, 0.1)
+	c := NewFactorCache(1) // 1-byte budget: nothing fits
+	s := complex(0, 1e9)
+	for i := 1; i <= 2; i++ {
+		f, hit, err := c.GetOrFactor(m.ID, m.ROM, s)
+		if err != nil || hit || f == nil {
+			t.Fatalf("attempt %d: f=%v hit=%v err=%v, want fresh factors", i, f != nil, hit, err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("oversized entries retained: %+v", st)
+	}
+	if st.Rejects != 2 || st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 rejects / 2 misses", st)
 	}
 }
 
@@ -130,7 +173,7 @@ func TestFactorCacheErrorNotCached(t *testing.T) {
 		B: []float64{1},
 		L: dense.NewMat[float64](1, 1),
 	}}}
-	c := NewFactorCache(16)
+	c := NewFactorCache(0)
 	for i := 0; i < 2; i++ {
 		if _, _, err := c.GetOrFactor("bad", rom, complex(0, 1e9)); err == nil {
 			t.Fatalf("attempt %d: expected singular-pencil error", i)

@@ -1,16 +1,20 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/lti"
+	"repro/internal/store"
 )
 
 // ErrRepositoryFull is returned by Repository.Get when admitting another
@@ -99,10 +103,54 @@ type Model struct {
 	ReduceTime time.Duration `json:"reduce_ns"`
 	Created    time.Time     `json:"created"`
 
+	// FromStore reports that this process loaded the ROM from the persistent
+	// store instead of reducing it (BuildTime/ReduceTime then record what the
+	// original reduction cost, Created when it ran).
+	FromStore bool `json:"from_store,omitempty"`
+
 	// ROM is the block-diagonal reduced model (immutable).
 	ROM *lti.BlockDiagSystem `json:"-"`
 	// GridKey fingerprints the generated grid configuration.
 	GridKey string `json:"-"`
+}
+
+// Outcome classifies how a Repository.Get call obtained its model. It is
+// meaningful only when the accompanying error is nil.
+type Outcome int
+
+const (
+	// OutcomeMemHit: the model was already resident (or this call waited on
+	// another caller's in-flight build).
+	OutcomeMemHit Outcome = iota
+	// OutcomeDiskHit: this call loaded the ROM from the persistent store,
+	// skipping the grid build and reduction entirely.
+	OutcomeDiskHit
+	// OutcomeBuilt: this call paid the full grid build + BDSM reduction.
+	OutcomeBuilt
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMemHit:
+		return "memory"
+	case OutcomeDiskHit:
+		return "disk"
+	case OutcomeBuilt:
+		return "built"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// RepoStats is a point-in-time snapshot of repository activity. Builds
+// counts full reductions; DiskHits counts models served from the persistent
+// store instead — the warm-restart economy, made observable.
+type RepoStats struct {
+	Models      int   `json:"models"`
+	Builds      int64 `json:"builds"`
+	MemHits     int64 `json:"mem_hits"`
+	DiskHits    int64 `json:"disk_hits"`
+	DiskMisses  int64 `json:"disk_misses"`
+	StoreErrors int64 `json:"store_errors"`
 }
 
 // Repository builds and caches reduced models. Each distinct normalized
@@ -112,12 +160,21 @@ type Model struct {
 // the process, so admission is bounded by maxModels; failed builds are
 // dropped so callers can retry. At most maxConcurrentBuilds reductions run
 // at once — further distinct keys queue.
+//
+// With a persistent store attached, the repository reads through it before
+// reducing (a disk hit skips the build entirely) and writes every fresh
+// reduction back, so the next process restart starts warm. Store failures
+// are never fatal to a request: a corrupt file is quarantined by the store
+// and the model is rebuilt; a failed write-through is counted and dropped.
 type Repository struct {
 	mu        sync.Mutex
 	entries   map[ModelKey]*repoEntry
 	byID      map[string]*repoEntry
 	maxModels int
 	buildSem  chan struct{}
+	store     *store.Store
+
+	builds, memHits, diskHits, diskMisses, storeErrors atomic.Int64
 }
 
 type repoEntry struct {
@@ -126,9 +183,16 @@ type repoEntry struct {
 	err   error
 }
 
-// NewRepository returns an empty model repository bounded to maxModels
-// entries; maxModels <= 0 selects DefaultMaxModels.
+// NewRepository returns an empty, memory-only model repository bounded to
+// maxModels entries; maxModels <= 0 selects DefaultMaxModels.
 func NewRepository(maxModels int) *Repository {
+	return NewRepositoryWithStore(maxModels, nil)
+}
+
+// NewRepositoryWithStore returns a repository backed by the given persistent
+// ROM store (nil for memory-only): reductions write through to it and misses
+// read through it before building.
+func NewRepositoryWithStore(maxModels int, st *store.Store) *Repository {
 	if maxModels <= 0 {
 		maxModels = DefaultMaxModels
 	}
@@ -137,34 +201,73 @@ func NewRepository(maxModels int) *Repository {
 		byID:      make(map[string]*repoEntry),
 		maxModels: maxModels,
 		buildSem:  make(chan struct{}, maxConcurrentBuilds),
+		store:     st,
 	}
 }
 
-// Get returns the model for key, building it if absent. The second return
-// reports whether this call performed the build (false for cache hits and
-// for callers that waited on another in-flight build). Get fails with
-// ErrRepositoryFull when the model bound is reached.
-func (r *Repository) Get(key ModelKey) (*Model, bool, error) {
+// errNotInStore marks a preload-only miss: a store entry vanished (e.g. was
+// quarantined) between Scan and load. It must never escape to Get callers —
+// they fall back to building.
+var errNotInStore = errors.New("serve: model is not in the store")
+
+// Get returns the model for key, building it if absent (first trying the
+// persistent store, then the full reduction pipeline). The Outcome reports
+// where the model came from; it is meaningful only on success. Get fails
+// with ErrRepositoryFull when the model bound is reached.
+func (r *Repository) Get(key ModelKey) (*Model, Outcome, error) {
+	for {
+		m, outcome, err := r.get(key, true)
+		if !errors.Is(err, errNotInStore) {
+			return m, outcome, err
+		}
+		// This call coalesced onto a concurrent Preload's entry just as its
+		// store file vanished. The preload owner is deleting the failed
+		// entry; yield and retry so this request builds the model instead of
+		// inheriting preload's build suppression.
+		runtime.Gosched()
+	}
+}
+
+// get is Get with build control: preloading passes allowBuild=false so a
+// store entry that vanished mid-scan is skipped instead of triggering the
+// reduction preload exists to avoid.
+func (r *Repository) get(key ModelKey, allowBuild bool) (*Model, Outcome, error) {
 	if err := key.Validate(); err != nil {
-		return nil, false, err
+		return nil, OutcomeMemHit, err
 	}
 	key.Normalize()
 	r.mu.Lock()
 	if e, ok := r.entries[key]; ok {
 		r.mu.Unlock()
 		<-e.ready
-		return e.model, false, e.err
+		if e.err == nil {
+			r.memHits.Add(1)
+		}
+		return e.model, OutcomeMemHit, e.err
 	}
 	if len(r.entries) >= r.maxModels {
 		r.mu.Unlock()
-		return nil, false, fmt.Errorf("%w (%d models)", ErrRepositoryFull, r.maxModels)
+		return nil, OutcomeMemHit, fmt.Errorf("%w (%d models)", ErrRepositoryFull, r.maxModels)
 	}
 	e := &repoEntry{ready: make(chan struct{})}
 	r.entries[key] = e
 	r.byID[key.ID()] = e
 	r.mu.Unlock()
 
-	e.model, e.err = safeBuild(key, r.buildSem)
+	outcome := OutcomeDiskHit
+	e.model = r.loadFromStore(key)
+	if e.model == nil {
+		if !allowBuild {
+			e.err = fmt.Errorf("%w: %s", errNotInStore, key.ID())
+		} else {
+			outcome = OutcomeBuilt
+			e.model, e.err = safeBuild(key, r.buildSem)
+			if e.err == nil {
+				r.builds.Add(1)
+				r.writeThrough(key, e.model)
+			}
+		}
+	}
 	close(e.ready)
 	if e.err != nil {
 		r.mu.Lock()
@@ -173,9 +276,128 @@ func (r *Repository) Get(key ModelKey) (*Model, bool, error) {
 			delete(r.byID, key.ID())
 		}
 		r.mu.Unlock()
-		return nil, false, e.err
+		return nil, outcome, e.err
 	}
-	return e.model, true, nil
+	return e.model, outcome, nil
+}
+
+// loadFromStore attempts a read-through of the persistent store, returning
+// nil on any miss or failure (corrupt files are quarantined inside the
+// store; the caller falls back to building). The stored ROM is addressed by
+// the model identity and the exact grid fingerprint, so a benchmark whose
+// generation parameters changed since the ROM was written simply misses.
+func (r *Repository) loadFromStore(key ModelKey) *Model {
+	if r.store == nil {
+		return nil
+	}
+	cfg, err := grid.Benchmark(key.Benchmark, key.Scale)
+	if err != nil {
+		return nil
+	}
+	cfg.RCOnly = key.RCOnly
+	gridKey := cfg.Key()
+	rom, meta, err := r.store.Get(key.ID(), gridKey)
+	if err != nil {
+		r.diskMisses.Add(1)
+		return nil
+	}
+	r.diskHits.Add(1)
+	return &Model{
+		ID:         key.ID(),
+		Key:        key,
+		Nodes:      meta.Nodes,
+		Ports:      meta.Ports,
+		Outputs:    meta.Outputs,
+		Order:      meta.Order,
+		Blocks:     meta.Blocks,
+		BuildTime:  time.Duration(meta.BuildNS),
+		ReduceTime: time.Duration(meta.ReduceNS),
+		Created:    meta.Created,
+		FromStore:  true,
+		ROM:        rom,
+		GridKey:    gridKey,
+	}
+}
+
+// writeThrough persists a freshly reduced model. Failures are counted, not
+// surfaced: the request already holds a valid in-memory model.
+func (r *Repository) writeThrough(key ModelKey, m *Model) {
+	if r.store == nil {
+		return
+	}
+	keyJSON, err := json.Marshal(key)
+	if err != nil {
+		r.storeErrors.Add(1)
+		return
+	}
+	meta := store.Meta{
+		ID:       m.ID,
+		GridKey:  m.GridKey,
+		ModelKey: keyJSON,
+		Nodes:    m.Nodes,
+		Ports:    m.Ports,
+		Outputs:  m.Outputs,
+		Order:    m.Order,
+		Blocks:   m.Blocks,
+		BuildNS:  int64(m.BuildTime),
+		ReduceNS: int64(m.ReduceTime),
+		Created:  m.Created,
+	}
+	if err := r.store.Put(meta, m.ROM); err != nil {
+		r.storeErrors.Add(1)
+	}
+}
+
+// Preload scans the persistent store and registers every valid ROM without
+// reducing anything — the warm-restart path. Entries that fail to load
+// (quarantined mid-scan, repository full, malformed keys) are skipped; the
+// returned count is the number of models resident after their preload
+// attempt. Safe to run concurrently with request traffic: registration goes
+// through the same single-flight path as Get.
+func (r *Repository) Preload() (int, error) {
+	if r.store == nil {
+		return 0, nil
+	}
+	metas, err := r.store.Scan()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	for _, meta := range metas {
+		if len(meta.ModelKey) == 0 {
+			continue
+		}
+		var key ModelKey
+		if json.Unmarshal(meta.ModelKey, &key) != nil || key.Validate() != nil {
+			continue
+		}
+		key.Normalize()
+		if key.ID() != meta.ID {
+			continue // metadata does not describe the key it claims
+		}
+		if _, _, err := r.get(key, false); err == nil {
+			loaded++
+		}
+	}
+	return loaded, nil
+}
+
+// Store returns the attached persistent store (nil for memory-only).
+func (r *Repository) Store() *store.Store { return r.store }
+
+// Stats reports repository activity counters.
+func (r *Repository) Stats() RepoStats {
+	r.mu.Lock()
+	models := len(r.entries)
+	r.mu.Unlock()
+	return RepoStats{
+		Models:      models,
+		Builds:      r.builds.Load(),
+		MemHits:     r.memHits.Load(),
+		DiskHits:    r.diskHits.Load(),
+		DiskMisses:  r.diskMisses.Load(),
+		StoreErrors: r.storeErrors.Load(),
+	}
 }
 
 // Lookup resolves a model by its ID without triggering a build. It blocks if

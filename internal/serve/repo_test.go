@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func TestModelKeyNormalize(t *testing.T) {
+	cases := []struct {
+		name        string
+		in          ModelKey
+		wantMoments int
+		wantS0      float64
+	}{
+		{"all defaulted ckt1", ModelKey{Benchmark: "ckt1", Scale: 0.25}, grid.MatchedMoments("ckt1"), core.DefaultS0},
+		{"all defaulted ckt2", ModelKey{Benchmark: "ckt2", Scale: 0.1}, grid.MatchedMoments("ckt2"), core.DefaultS0},
+		{"all defaulted ckt4", ModelKey{Benchmark: "ckt4", Scale: 0.1}, grid.MatchedMoments("ckt4"), core.DefaultS0},
+		{"explicit moments kept", ModelKey{Benchmark: "ckt1", Scale: 0.25, Moments: 9}, 9, core.DefaultS0},
+		{"explicit s0 kept", ModelKey{Benchmark: "ckt1", Scale: 0.25, S0: 5e8}, grid.MatchedMoments("ckt1"), 5e8},
+		{"spelled-out defaults", ModelKey{Benchmark: "ckt1", Scale: 0.25, Moments: 6, S0: core.DefaultS0}, 6, core.DefaultS0},
+		{"unknown benchmark gets fallback", ModelKey{Benchmark: "nope", Scale: 0.25}, grid.MatchedMoments("nope"), core.DefaultS0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := tc.in
+			k.Normalize()
+			if k.Moments != tc.wantMoments || k.S0 != tc.wantS0 {
+				t.Fatalf("Normalize(%+v) = moments %d, s0 %g; want %d, %g",
+					tc.in, k.Moments, k.S0, tc.wantMoments, tc.wantS0)
+			}
+			// Normalize is idempotent.
+			again := k
+			again.Normalize()
+			if again != k {
+				t.Fatalf("Normalize not idempotent: %+v then %+v", k, again)
+			}
+		})
+	}
+}
+
+func TestModelKeyValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      ModelKey
+		wantErr string // empty = valid
+	}{
+		{"defaults valid", ModelKey{Benchmark: "ckt1", Scale: 0.25}, ""},
+		{"explicit valid", ModelKey{Benchmark: "ckt2", Scale: 0.1, Moments: 10, S0: 1e9, RCOnly: true}, ""},
+		{"max moments valid", ModelKey{Benchmark: "ckt1", Scale: 0.25, Moments: MaxMoments}, ""},
+		{"negative moments", ModelKey{Benchmark: "ckt1", Scale: 0.25, Moments: -3}, "moments"},
+		{"excessive moments", ModelKey{Benchmark: "ckt1", Scale: 0.25, Moments: MaxMoments + 1}, "moments"},
+		{"negative s0", ModelKey{Benchmark: "ckt1", Scale: 0.25, S0: -1e9}, "s0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.in.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate(%+v) = %v, want nil", tc.in, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate(%+v) = %v, want error mentioning %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+	// Bad benchmark names and scales are rejected at build time with
+	// specific errors (Validate leaves them to grid.Benchmark).
+	for _, key := range []ModelKey{
+		{Benchmark: "ckt9", Scale: 0.25},
+		{Benchmark: "ckt1", Scale: 0},
+		{Benchmark: "ckt1", Scale: -1},
+		{Benchmark: "ckt1", Scale: 1.5},
+	} {
+		if _, _, err := NewRepository(0).Get(key); err == nil {
+			t.Errorf("Get(%+v) succeeded, want benchmark/scale rejection", key)
+		}
+	}
+}
+
+func TestModelKeyIDCollisions(t *testing.T) {
+	// Defaulted and spelled-out keys must collide onto one ID (one model,
+	// one store entry).
+	collide := [][2]ModelKey{
+		{{Benchmark: "ckt1", Scale: 0.25}, {Benchmark: "ckt1", Scale: 0.25, Moments: 6}},
+		{{Benchmark: "ckt1", Scale: 0.25}, {Benchmark: "ckt1", Scale: 0.25, S0: core.DefaultS0}},
+		{{Benchmark: "ckt1", Scale: 0.25}, {Benchmark: "ckt1", Scale: 0.25, Moments: 6, S0: 1e9}},
+		{{Benchmark: "ckt4", Scale: 0.1}, {Benchmark: "ckt4", Scale: 0.1, Moments: 8}},
+	}
+	for i, pair := range collide {
+		if a, b := pair[0].ID(), pair[1].ID(); a != b {
+			t.Errorf("pair %d: %q != %q, want defaulted and spelled-out keys to collide", i, a, b)
+		}
+	}
+
+	// Distinct keys must never collide.
+	distinct := []ModelKey{
+		{Benchmark: "ckt1", Scale: 0.25},
+		{Benchmark: "ckt2", Scale: 0.25},
+		{Benchmark: "ckt1", Scale: 0.1},
+		{Benchmark: "ckt1", Scale: 0.25, Moments: 7},
+		{Benchmark: "ckt1", Scale: 0.25, S0: 2e9},
+		{Benchmark: "ckt1", Scale: 0.25, RCOnly: true},
+		{Benchmark: "ckt1", Scale: 0.25, Moments: 7, S0: 2e9},
+		{Benchmark: "ckt2", Scale: 0.1, RCOnly: true},
+	}
+	seen := make(map[string]ModelKey, len(distinct))
+	for _, k := range distinct {
+		id := k.ID()
+		if prev, ok := seen[id]; ok {
+			t.Errorf("keys %+v and %+v collide on ID %q", prev, k, id)
+		}
+		seen[id] = k
+		// IDs are URL/query-safe: no '+', no spaces.
+		if strings.ContainsAny(id, "+ /?&#%") {
+			t.Errorf("ID %q contains URL-unsafe characters", id)
+		}
+	}
+	// ID is stable against pre-normalized input.
+	k := ModelKey{Benchmark: "ckt1", Scale: 0.25}
+	k.Normalize()
+	if k.ID() != (ModelKey{Benchmark: "ckt1", Scale: 0.25}).ID() {
+		t.Error("ID differs between normalized and raw key")
+	}
+}

@@ -24,15 +24,26 @@ import (
 
 	"repro/internal/grid"
 	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// The standard sweep grid: the logarithmic frequency range every sweep
+// defaults to when a request leaves wmin/wmax/points unset. Keeping one
+// canonical grid maximizes factorization reuse — independent requests (and
+// the post-reduction cache warmer) land on bit-identical frequencies.
+const (
+	DefaultWMin        = 1e5
+	DefaultWMax        = 1e15
+	DefaultSweepPoints = 60
 )
 
 // Config sizes a Server.
 type Config struct {
 	// Workers is the evaluation pool size; 0 means runtime.NumCPU().
 	Workers int
-	// CacheCapacity bounds the factorization cache in entries; 0 selects
-	// the default (4096).
-	CacheCapacity int
+	// CacheBytes budgets the factorization cache in bytes of retained
+	// factors; 0 selects DefaultCacheBytes.
+	CacheBytes int64
 	// MaxModels bounds the model repository; 0 selects DefaultMaxModels.
 	MaxModels int
 	// MaxSweepPoints caps the per-request sweep/eval batch size; 0 means
@@ -43,6 +54,15 @@ type Config struct {
 	// many-port models; 0 means the default of 1<<22 (~128 MB of
 	// complex128).
 	MaxEvalEntries int
+	// Store, when non-nil, is the persistent ROM store the repository reads
+	// through on miss and writes through on build, enabling warm restarts.
+	Store *store.Store
+	// WarmPoints sizes the post-reduction cache warm-up: when a model is
+	// built or loaded from disk, its per-column pencil factorizations over
+	// the standard sweep grid are computed while the engine is idle, so the
+	// first default sweep is all cache hits. 0 selects DefaultSweepPoints;
+	// negative disables warming.
+	WarmPoints int
 }
 
 // Server wires the repository, factorization cache, and evaluation engine
@@ -64,8 +84,8 @@ func New(cfg Config) *Server {
 		cfg.MaxEvalEntries = 1 << 22
 	}
 	return &Server{
-		repo:  NewRepository(cfg.MaxModels),
-		cache: NewFactorCache(cfg.CacheCapacity),
+		repo:  NewRepositoryWithStore(cfg.MaxModels, cfg.Store),
+		cache: NewFactorCache(cfg.CacheBytes),
 		eng:   NewEngine(cfg.Workers),
 		cfg:   cfg,
 		start: time.Now(),
@@ -77,6 +97,56 @@ func (s *Server) Close() { s.eng.Close() }
 
 // Repo exposes the model repository (used by preloading and tests).
 func (s *Server) Repo() *Repository { return s.repo }
+
+// PreloadStore registers every valid ROM from the persistent store without
+// reducing, then pre-factors the standard sweep grid for each — the full
+// warm-restart path for a starting daemon. Returns the number of models
+// registered.
+func (s *Server) PreloadStore() (int, error) {
+	n, err := s.repo.Preload()
+	if err != nil {
+		return 0, err
+	}
+	for _, m := range s.repo.Models() {
+		s.warmModel(m)
+	}
+	return n, nil
+}
+
+// warmModel pre-factors the per-column block pencils of m over the standard
+// sweep grid through the factorization cache. It runs right after a model is
+// reduced or loaded — the moment the engine is idle — so the first default
+// sweep against the model skips every O(l³) factorization. Best-effort:
+// factorization failures surface on the serving path with proper errors.
+func (s *Server) warmModel(m *Model) {
+	pts := s.cfg.WarmPoints
+	if pts < 0 {
+		return
+	}
+	if pts == 0 {
+		pts = DefaultSweepPoints
+	}
+	freqs, err := sim.LogGrid(DefaultWMin, DefaultWMax, pts)
+	if err != nil {
+		return
+	}
+	s.eng.Map(len(freqs), func(k int) error {
+		for col := 0; col < m.Ports; col++ {
+			s.cache.GetOrFactorColumn(m.ID, m.ROM, complex(0, freqs[k]), col)
+		}
+		return nil
+	})
+}
+
+// CacheStats merges the factorization cache's counters with the
+// repository's persistent-store counters into one cache-effectiveness view.
+func (s *Server) CacheStats() CacheStats {
+	st := s.cache.Stats()
+	rs := s.repo.Stats()
+	st.DiskHits = rs.DiskHits
+	st.DiskMisses = rs.DiskMisses
+	return st
+}
 
 // Handler returns the HTTP API:
 //
@@ -151,13 +221,21 @@ func (s *Server) lookupModel(id string) (*Model, error) {
 type reduceResponse struct {
 	*Model
 	ReduceMS float64 `json:"reduce_ms"`
-	// Cached reports whether the model already existed (this request did
-	// not pay the reduction).
+	// Cached reports whether this request skipped the reduction (the model
+	// was resident in memory or loaded from the persistent store).
 	Cached bool `json:"cached"`
+	// Source reports where the model came from: "memory", "disk", or
+	// "built".
+	Source string `json:"source"`
 }
 
-func modelInfo(m *Model, cached bool) reduceResponse {
-	return reduceResponse{Model: m, ReduceMS: float64(m.ReduceTime) / 1e6, Cached: cached}
+func modelInfo(m *Model, outcome Outcome) reduceResponse {
+	return reduceResponse{
+		Model:    m,
+		ReduceMS: float64(m.ReduceTime) / 1e6,
+		Cached:   outcome != OutcomeBuilt,
+		Source:   outcome.String(),
+	}
 }
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
@@ -176,7 +254,7 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("%v", err))
 		return
 	}
-	m, built, err := s.repo.Get(key)
+	m, outcome, err := s.repo.Get(key)
 	switch {
 	case errors.Is(err, ErrRepositoryFull):
 		writeErr(w, &httpError{code: http.StatusTooManyRequests, err: err})
@@ -185,7 +263,15 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err) // build/reduction failure: server-side, 500
 		return
 	}
-	writeJSON(w, modelInfo(m, !built))
+	if outcome != OutcomeMemHit {
+		// The model just became resident (reduced or read from disk):
+		// pre-factor the standard sweep grid so the first sweeps are pure
+		// cache hits. Deliberately synchronous — warming is small next to
+		// the reduction this request already paid (or skipped via disk), and
+		// a /reduce response then means "ready to sweep at full speed".
+		s.warmModel(m)
+	}
+	writeJSON(w, modelInfo(m, outcome))
 }
 
 type evalRequest struct {
@@ -278,6 +364,17 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
+	// Zero range/points select the standard grid — the one the cache warmer
+	// pre-factored, so defaulted sweeps skip every factorization.
+	if req.WMin == 0 {
+		req.WMin = DefaultWMin
+	}
+	if req.WMax == 0 {
+		req.WMax = DefaultWMax
+	}
+	if req.Points == 0 {
+		req.Points = DefaultSweepPoints
+	}
 	if req.Points > s.cfg.MaxSweepPoints {
 		writeErr(w, badRequest("points %d exceeds limit %d", req.Points, s.cfg.MaxSweepPoints))
 		return
@@ -320,18 +417,18 @@ func streamNDJSON(w http.ResponseWriter, n int, row func(enc *json.Encoder, i in
 
 // sourceSpec describes a scalar waveform in a transient request.
 type sourceSpec struct {
-	Kind      string  `json:"kind"` // dc | step | pulse | sine | pwl
-	Value     float64 `json:"value,omitempty"`
-	Amplitude float64 `json:"amplitude,omitempty"`
-	Delay     float64 `json:"delay,omitempty"`
-	Low       float64 `json:"low,omitempty"`
-	High      float64 `json:"high,omitempty"`
-	Rise      float64 `json:"rise,omitempty"`
-	Fall      float64 `json:"fall,omitempty"`
-	Width     float64 `json:"width,omitempty"`
-	Period    float64 `json:"period,omitempty"`
-	Offset    float64 `json:"offset,omitempty"`
-	Freq      float64 `json:"freq,omitempty"`
+	Kind      string    `json:"kind"` // dc | step | pulse | sine | pwl
+	Value     float64   `json:"value,omitempty"`
+	Amplitude float64   `json:"amplitude,omitempty"`
+	Delay     float64   `json:"delay,omitempty"`
+	Low       float64   `json:"low,omitempty"`
+	High      float64   `json:"high,omitempty"`
+	Rise      float64   `json:"rise,omitempty"`
+	Fall      float64   `json:"fall,omitempty"`
+	Width     float64   `json:"width,omitempty"`
+	Period    float64   `json:"period,omitempty"`
+	Offset    float64   `json:"offset,omitempty"`
+	Freq      float64   `json:"freq,omitempty"`
 	T         []float64 `json:"t,omitempty"`
 	V         []float64 `json:"v,omitempty"`
 }
@@ -451,18 +548,23 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	models := s.repo.Models()
 	out := make([]reduceResponse, len(models))
 	for i, m := range models {
-		out[i] = modelInfo(m, true)
+		out[i] = modelInfo(m, OutcomeMemHit)
 	}
 	writeJSON(w, out)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	resp := map[string]any{
 		"status":     "ok",
 		"uptime_s":   time.Since(s.start).Seconds(),
 		"models":     len(s.repo.Models()),
-		"cache":      s.cache.Stats(),
+		"cache":      s.CacheStats(),
+		"repo":       s.repo.Stats(),
 		"workers":    s.eng.Workers(),
 		"goroutines": runtime.NumGoroutine(),
-	})
+	}
+	if s.cfg.Store != nil {
+		resp["store"] = s.cfg.Store.Stats()
+	}
+	writeJSON(w, resp)
 }

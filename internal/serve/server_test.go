@@ -14,7 +14,7 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(Config{Workers: 4, CacheCapacity: 256})
+	srv := New(Config{Workers: 4})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()

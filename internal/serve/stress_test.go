@@ -26,13 +26,13 @@ func TestRepositorySingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			m, b, err := repo.Get(keys[g%len(keys)])
+			m, outcome, err := repo.Get(keys[g%len(keys)])
 			if err != nil {
 				t.Errorf("goroutine %d: %v", g, err)
 				return
 			}
 			models[g] = m
-			built[g] = b
+			built[g] = outcome == OutcomeBuilt
 		}()
 	}
 	wg.Wait()
@@ -73,8 +73,8 @@ func TestRepositoryBound(t *testing.T) {
 	if _, _, err := repo.Get(ModelKey{Benchmark: "ckt1", Scale: 0.12}); !errors.Is(err, ErrRepositoryFull) {
 		t.Fatalf("third model: err = %v, want ErrRepositoryFull", err)
 	}
-	if _, built, err := repo.Get(ModelKey{Benchmark: "ckt1", Scale: 0.1}); err != nil || built {
-		t.Fatalf("resident model after full: built=%v err=%v", built, err)
+	if _, outcome, err := repo.Get(ModelKey{Benchmark: "ckt1", Scale: 0.1}); err != nil || outcome != OutcomeMemHit {
+		t.Fatalf("resident model after full: outcome=%v err=%v", outcome, err)
 	}
 }
 
@@ -87,26 +87,29 @@ func TestFactorCacheStress(t *testing.T) {
 	m := testModel(t, 0.1)
 	freqs := make([]complex128, 8)
 	refs := make([][]complex128, 8)
+	var entryBytes int64
 	for k := range freqs {
 		freqs[k] = complex(0, 1e6*float64(k+1))
 		f, err := m.ROM.Factorize(freqs[k])
 		if err != nil {
 			t.Fatalf("reference factorization %d: %v", k, err)
 		}
+		entryBytes = f.MemBytes()
 		if refs[k], err = f.EvalColumn(0); err != nil {
 			t.Fatalf("reference eval %d: %v", k, err)
 		}
 	}
 
 	for _, tc := range []struct {
-		name     string
-		capacity int
+		name   string
+		budget int64
 	}{
-		{"roomy", 256},
-		{"thrashing", facShards}, // one slot per shard: constant eviction
+		{"roomy", 0}, // default budget: room for every entry
+		// One full entry per shard: colliding keys evict continuously.
+		{"thrashing", entryBytes * facShards},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			cache := NewFactorCache(tc.capacity)
+			cache := NewFactorCache(tc.budget)
 			const goroutines, iters = 16, 60
 			var wg sync.WaitGroup
 			for g := 0; g < goroutines; g++ {

@@ -1,0 +1,375 @@
+// Package store is the persistent ROM store: a content-addressed, disk-backed
+// library of block-diagonal reduced models keyed by the serving layer's model
+// identity (ModelKey.ID()) together with the exact grid configuration
+// fingerprint (grid.Config.Key()).
+//
+// The paper's central economy is "reduce once, evaluate forever" — a ROM is a
+// reusable artifact. Persisting it lets a restarted server skip the grid
+// build and BDSM reduction entirely: a warm restart reads the ROM back in
+// milliseconds instead of re-running the most expensive operation in the
+// system. Keying on the grid fingerprint (not just the model name) makes the
+// store self-invalidating: if a benchmark's generation parameters change
+// between binary versions, the address changes with them and the stale file
+// is simply never found.
+//
+// On-disk format (little-endian), one file per ROM, named by the first 24
+// hex digits of SHA-256(id NUL gridKey) with extension ".rom":
+//
+//	magic    [8]byte  "PGROMST1"
+//	version  uint32   store format version (1)
+//	metaLen  uint32   length of the metadata JSON
+//	meta     []byte   Meta as JSON
+//	romLen   uint64   length of the ROM payload
+//	rom      []byte   lti.SaveBlockDiag stream (itself versioned + checksummed)
+//	sha256   [32]byte digest of every preceding byte
+//
+// Writes are atomic: the file is assembled in a temp file in the same
+// directory, fsynced, and renamed into place, so a reader never observes a
+// torn file — it sees the old ROM, the new ROM, or nothing. Any file that
+// fails validation on read (bad magic, version, checksum, metadata mismatch,
+// or ROM decode error) is quarantined — renamed aside with a ".quarantined"
+// suffix — and reported as a miss, so one corrupt file costs one rebuild
+// rather than a crash or a silently wrong model.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/lti"
+)
+
+// FormatVersion is the store file format version this package reads and
+// writes. Files with any other version are quarantined, never half-decoded.
+const FormatVersion = 1
+
+// magic opens every store file; it doubles as a human-greppable signature.
+const magic = "PGROMST1"
+
+// romExt and quarantineExt are the extensions of live and quarantined files.
+const (
+	romExt        = ".rom"
+	quarantineExt = ".quarantined"
+)
+
+// ErrNotFound reports that no (valid) ROM exists at the requested address.
+// Corrupt files surface as ErrNotFound too (wrapped with the reason), after
+// being quarantined: the caller's recovery — rebuild the model — is the same.
+var ErrNotFound = errors.New("store: ROM not found")
+
+// Meta is the sidecar metadata persisted with each ROM — everything the
+// serving layer needs to register a model without touching the grid
+// generator or the reducer.
+type Meta struct {
+	// ID is the serving-layer model identity (ModelKey.ID()).
+	ID string `json:"id"`
+	// GridKey fingerprints every generation parameter of the source grid.
+	GridKey string `json:"grid_key"`
+	// ModelKey is the serving layer's key, stored opaquely so this package
+	// does not depend on the serve package.
+	ModelKey json.RawMessage `json:"model_key,omitempty"`
+
+	Nodes   int `json:"nodes"`
+	Ports   int `json:"ports"`
+	Outputs int `json:"outputs"`
+	Order   int `json:"order"`
+	Blocks  int `json:"blocks"`
+
+	// BuildNS and ReduceNS record what the original build cost — the time a
+	// warm restart saves.
+	BuildNS  int64     `json:"build_ns"`
+	ReduceNS int64     `json:"reduce_ns"`
+	Created  time.Time `json:"created"`
+}
+
+// Stats is a point-in-time snapshot of store activity since Open.
+type Stats struct {
+	// Entries counts live .rom files on disk; Quarantined counts
+	// .quarantined files (from this and previous processes).
+	Entries     int   `json:"entries"`
+	Quarantined int   `json:"quarantined"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	// CorruptDropped counts files this process quarantined.
+	CorruptDropped int64 `json:"corrupt_dropped"`
+}
+
+// Store is a handle on one store directory. All methods are safe for
+// concurrent use, including by multiple Store handles (or processes) on the
+// same directory: writes are atomic renames and reads verify checksums.
+type Store struct {
+	dir string
+
+	// quarantineMu serializes quarantine renames so two readers hitting the
+	// same corrupt file don't race each other's rename.
+	quarantineMu sync.Mutex
+
+	hits, misses, writes, writeErrors, corrupt atomic.Int64
+}
+
+// Open creates (if necessary) and opens a store directory.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// addr maps a (model id, grid key) pair to its content address: the file
+// name is derived from the full key material, so lookups are O(1) path
+// computations and arbitrary key characters never reach the filesystem.
+func addr(id, gridKey string) string {
+	sum := sha256.Sum256([]byte(id + "\x00" + gridKey))
+	return hex.EncodeToString(sum[:12]) + romExt
+}
+
+func (s *Store) path(id, gridKey string) string {
+	return filepath.Join(s.dir, addr(id, gridKey))
+}
+
+// encode assembles the framed file image for one ROM.
+func encode(meta Meta, rom *lti.BlockDiagSystem) ([]byte, error) {
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding metadata: %w", err)
+	}
+	var romBuf bytes.Buffer
+	if err := lti.SaveBlockDiag(&romBuf, rom); err != nil {
+		return nil, err
+	}
+	romBytes := romBuf.Bytes()
+
+	buf := make([]byte, 0, len(magic)+16+len(metaJSON)+len(romBytes)+sha256.Size)
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, FormatVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(metaJSON)))
+	buf = append(buf, metaJSON...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(romBytes)))
+	buf = append(buf, romBytes...)
+	sum := sha256.Sum256(buf)
+	return append(buf, sum[:]...), nil
+}
+
+// decodeMeta verifies the frame (magic, version, lengths, checksum) and
+// returns the metadata and the ROM payload bytes without decoding the ROM.
+func decodeMeta(data []byte) (Meta, []byte, error) {
+	const headerLen = len(magic) + 8 // magic + version + metaLen
+	if len(data) < headerLen+8+sha256.Size {
+		return Meta{}, nil, fmt.Errorf("store: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return Meta{}, nil, errors.New("store: bad magic")
+	}
+	if v := binary.LittleEndian.Uint32(data[len(magic):]); v != FormatVersion {
+		return Meta{}, nil, fmt.Errorf("store: file format version %d, this build reads version %d", v, FormatVersion)
+	}
+	body, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if computed := sha256.Sum256(body); string(computed[:]) != string(sum) {
+		return Meta{}, nil, errors.New("store: checksum mismatch")
+	}
+	metaLen := int(binary.LittleEndian.Uint32(data[len(magic)+4:]))
+	rest := body[headerLen:]
+	if metaLen < 0 || metaLen > len(rest)-8 {
+		return Meta{}, nil, fmt.Errorf("store: metadata length %d exceeds file", metaLen)
+	}
+	var meta Meta
+	if err := json.Unmarshal(rest[:metaLen], &meta); err != nil {
+		return Meta{}, nil, fmt.Errorf("store: decoding metadata: %w", err)
+	}
+	rest = rest[metaLen:]
+	romLen := binary.LittleEndian.Uint64(rest)
+	if romLen != uint64(len(rest)-8) {
+		return Meta{}, nil, fmt.Errorf("store: ROM length %d disagrees with file (%d remaining)", romLen, len(rest)-8)
+	}
+	return meta, rest[8:], nil
+}
+
+// Put persists one ROM at its content address, atomically replacing any
+// previous version. meta.ID and meta.GridKey must be set — they are the
+// address.
+func (s *Store) Put(meta Meta, rom *lti.BlockDiagSystem) error {
+	if meta.ID == "" || meta.GridKey == "" {
+		s.writeErrors.Add(1)
+		return errors.New("store: Put requires meta.ID and meta.GridKey")
+	}
+	data, err := encode(meta, rom)
+	if err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: creating temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: writing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: syncing %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: closing %s: %w", tmp.Name(), err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: chmod %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(meta.ID, meta.GridKey)); err != nil {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: publishing ROM: %w", err)
+	}
+	s.writes.Add(1)
+	return nil
+}
+
+// Get loads the ROM stored for (id, gridKey). A missing file returns
+// ErrNotFound; a file that fails any validation step is quarantined and also
+// reported as (wrapped) ErrNotFound, so callers rebuild either way.
+func (s *Store) Get(id, gridKey string) (*lti.BlockDiagSystem, Meta, error) {
+	p := s.path(id, gridKey)
+	data, err := os.ReadFile(p)
+	if errors.Is(err, fs.ErrNotExist) {
+		s.misses.Add(1)
+		return nil, Meta{}, ErrNotFound
+	}
+	if err != nil {
+		s.misses.Add(1)
+		return nil, Meta{}, fmt.Errorf("store: reading %s: %w", p, err)
+	}
+	meta, romBytes, err := decodeMeta(data)
+	if err == nil && (meta.ID != id || meta.GridKey != gridKey) {
+		err = fmt.Errorf("store: file addresses %q/%q, requested %q/%q", meta.ID, meta.GridKey, id, gridKey)
+	}
+	var rom *lti.BlockDiagSystem
+	if err == nil {
+		rom, err = loadROM(romBytes)
+	}
+	if err == nil {
+		if n, m, p2 := rom.Dims(); n != meta.Order || m != meta.Ports || p2 != meta.Outputs || len(rom.Blocks) != meta.Blocks {
+			err = fmt.Errorf("store: ROM dims (order %d, %d×%d, %d blocks) disagree with metadata (order %d, %d×%d, %d blocks)",
+				n, p2, m, len(rom.Blocks), meta.Order, meta.Outputs, meta.Ports, meta.Blocks)
+		}
+	}
+	if err != nil {
+		s.quarantine(p, data)
+		s.misses.Add(1)
+		return nil, Meta{}, fmt.Errorf("%w (quarantined %s: %v)", ErrNotFound, filepath.Base(p), err)
+	}
+	s.hits.Add(1)
+	return rom, meta, nil
+}
+
+// loadROM decodes the payload, converting any panic in the decode path into
+// an error: a corrupt file must never take the server down.
+func loadROM(romBytes []byte) (rom *lti.BlockDiagSystem, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rom, err = nil, fmt.Errorf("store: ROM decode panicked: %v", r)
+		}
+	}()
+	return lti.LoadBlockDiag(bytes.NewReader(romBytes))
+}
+
+// quarantine moves a corrupt file aside so it is never re-read (and remains
+// available for post-mortem inspection). The rename is conditional on the
+// file still holding the bytes we judged corrupt: a concurrent Put may have
+// already replaced it with a fresh, valid ROM, which must not be destroyed.
+func (s *Store) quarantine(p string, observed []byte) {
+	s.quarantineMu.Lock()
+	defer s.quarantineMu.Unlock()
+	current, err := os.ReadFile(p)
+	if err != nil || !bytes.Equal(current, observed) {
+		return // already quarantined, removed, or overwritten
+	}
+	if err := os.Rename(p, p+quarantineExt); err == nil {
+		s.corrupt.Add(1)
+	} else {
+		// Renaming failed (exotic filesystem?); removal still protects
+		// future reads.
+		if os.Remove(p) == nil {
+			s.corrupt.Add(1)
+		}
+	}
+}
+
+// Scan enumerates the metadata of every valid ROM in the store, quarantining
+// corrupt files as it encounters them. It reads and checksums each file but
+// does not decode ROM payloads, so startup preloading can decide what to
+// register before paying any gob decode.
+func (s *Store) Scan() ([]Meta, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: scanning %s: %w", s.dir, err)
+	}
+	var metas []Meta
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), romExt) {
+			continue
+		}
+		p := filepath.Join(s.dir, ent.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			continue // racing Put/quarantine; skip
+		}
+		meta, _, err := decodeMeta(data)
+		if err == nil && addr(meta.ID, meta.GridKey) != ent.Name() {
+			err = fmt.Errorf("store: file %s does not match its address", ent.Name())
+		}
+		if err != nil {
+			s.quarantine(p, data)
+			continue
+		}
+		metas = append(metas, meta)
+	}
+	return metas, nil
+}
+
+// Stats reports store activity and current directory occupancy.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Writes:         s.writes.Load(),
+		WriteErrors:    s.writeErrors.Load(),
+		CorruptDropped: s.corrupt.Load(),
+	}
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, ent := range entries {
+			switch {
+			case ent.IsDir():
+			case strings.HasSuffix(ent.Name(), romExt):
+				st.Entries++
+			case strings.HasSuffix(ent.Name(), quarantineExt):
+				st.Quarantined++
+			}
+		}
+	}
+	return st
+}

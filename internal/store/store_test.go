@@ -1,0 +1,272 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dense"
+	"repro/internal/lti"
+)
+
+// testROM builds a small deterministic block-diagonal ROM.
+func testROM() *lti.BlockDiagSystem {
+	return &lti.BlockDiagSystem{
+		M: 2,
+		P: 1,
+		Blocks: []lti.Block{
+			{
+				C:     &dense.Mat[float64]{Rows: 2, Cols: 2, Data: []float64{1, 0, 0, 2}},
+				G:     &dense.Mat[float64]{Rows: 2, Cols: 2, Data: []float64{3, 1, 1, 4}},
+				B:     []float64{1, -1},
+				L:     &dense.Mat[float64]{Rows: 1, Cols: 2, Data: []float64{0.5, 0.25}},
+				Input: 0,
+			},
+			{
+				C:     &dense.Mat[float64]{Rows: 1, Cols: 1, Data: []float64{1.5}},
+				G:     &dense.Mat[float64]{Rows: 1, Cols: 1, Data: []float64{2.5}},
+				B:     []float64{2},
+				L:     &dense.Mat[float64]{Rows: 1, Cols: 1, Data: []float64{-1}},
+				Input: 1,
+			},
+		},
+	}
+}
+
+func testMeta(id, gridKey string) Meta {
+	return Meta{
+		ID: id, GridKey: gridKey,
+		Nodes: 100, Ports: 2, Outputs: 1, Order: 3, Blocks: 2,
+		BuildNS: 1e6, ReduceNS: 2e6,
+		Created: time.Date(2026, 7, 28, 0, 0, 0, 0, time.UTC),
+	}
+}
+
+func openTestStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, meta Meta) {
+	t.Helper()
+	if err := s.Put(meta, testROM()); err != nil {
+		t.Fatalf("Put(%s): %v", meta.ID, err)
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	meta := testMeta("m1", "g1")
+
+	if _, _, err := s.Get("m1", "g1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get before Put: err = %v, want ErrNotFound", err)
+	}
+	mustPut(t, s, meta)
+	rom, got, err := s.Get("m1", "g1")
+	if err != nil {
+		t.Fatalf("Get after Put: %v", err)
+	}
+	if !reflect.DeepEqual(rom, testROM()) {
+		t.Fatal("loaded ROM differs from stored ROM")
+	}
+	if !reflect.DeepEqual(got, meta) {
+		t.Fatalf("loaded meta = %+v, want %+v", got, meta)
+	}
+	// Different grid key = different address, even for the same model id.
+	if _, _, err := s.Get("m1", "g2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get with other grid key: err = %v, want ErrNotFound", err)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 2 || st.Writes != 1 {
+		t.Fatalf("stats = %+v, want 1 entry / 1 hit / 2 misses / 1 write", st)
+	}
+}
+
+func TestPutOverwritesAtomically(t *testing.T) {
+	s := openTestStore(t)
+	meta := testMeta("m1", "g1")
+	mustPut(t, s, meta)
+	meta.Nodes = 999
+	mustPut(t, s, meta)
+	_, got, err := s.Get("m1", "g1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if got.Nodes != 999 {
+		t.Fatalf("Nodes = %d after overwrite, want 999", got.Nodes)
+	}
+	if st := s.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after overwrite, want 1", st.Entries)
+	}
+	// No temp-file litter.
+	entries, _ := os.ReadDir(s.Dir())
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// storeFile returns the single .rom path in the store directory.
+func storeFile(t *testing.T, s *Store) string {
+	t.Helper()
+	entries, err := os.ReadDir(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), romExt) {
+			return filepath.Join(s.Dir(), e.Name())
+		}
+	}
+	t.Fatal("no .rom file in store")
+	return ""
+}
+
+func TestCorruptFileQuarantined(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"wrong version", func(b []byte) []byte { b[8] = 99; return b }},
+		{"payload bit flip", func(b []byte) []byte { b[len(b)/2] ^= 0x10; return b }},
+		{"checksum bit flip", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := openTestStore(t)
+			mustPut(t, s, testMeta("m1", "g1"))
+			p := storeFile(t, s)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, tc.mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err = s.Get("m1", "g1")
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Get on corrupt file: err = %v, want wrapped ErrNotFound", err)
+			}
+			if _, err := os.Stat(p); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt file still live: %v", err)
+			}
+			if _, err := os.Stat(p + quarantineExt); err != nil {
+				t.Fatalf("no quarantined copy: %v", err)
+			}
+			st := s.Stats()
+			if st.CorruptDropped != 1 || st.Quarantined != 1 || st.Entries != 0 {
+				t.Fatalf("stats = %+v, want 1 corrupt / 1 quarantined / 0 entries", st)
+			}
+			// The store stays usable: a fresh Put at the same address works.
+			mustPut(t, s, testMeta("m1", "g1"))
+			if _, _, err := s.Get("m1", "g1"); err != nil {
+				t.Fatalf("Get after re-Put: %v", err)
+			}
+		})
+	}
+}
+
+func TestMetaROMDimensionMismatchQuarantined(t *testing.T) {
+	s := openTestStore(t)
+	meta := testMeta("m1", "g1")
+	meta.Order = 17 // lies about the ROM inside
+	mustPut(t, s, meta)
+	if _, _, err := s.Get("m1", "g1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get with lying metadata: err = %v, want ErrNotFound", err)
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 quarantined", st)
+	}
+}
+
+func TestMovedFileQuarantined(t *testing.T) {
+	// A valid file copied to the wrong address must not serve the wrong key.
+	s := openTestStore(t)
+	mustPut(t, s, testMeta("m1", "g1"))
+	data, err := os.ReadFile(storeFile(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path("m2", "g1"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Get("m2", "g1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get of mis-addressed file: err = %v, want ErrNotFound", err)
+	}
+	// The original is untouched.
+	if _, _, err := s.Get("m1", "g1"); err != nil {
+		t.Fatalf("Get of original: %v", err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	s := openTestStore(t)
+	for _, id := range []string{"a", "b", "c"} {
+		mustPut(t, s, testMeta(id, "g"))
+	}
+	// Corrupt one file; Scan must skip and quarantine it, returning the rest.
+	p := s.path("b", "g")
+	data, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x40
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Stray non-ROM files are ignored.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := s.Scan()
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	ids := map[string]bool{}
+	for _, m := range metas {
+		ids[m.ID] = true
+	}
+	if len(metas) != 2 || !ids["a"] || !ids["c"] {
+		t.Fatalf("Scan returned %v, want exactly a and c", ids)
+	}
+	if st := s.Stats(); st.Quarantined != 1 || st.Entries != 2 {
+		t.Fatalf("stats after scan = %+v, want 1 quarantined / 2 entries", st)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	s := openTestStore(t)
+	if err := s.Put(Meta{GridKey: "g"}, testROM()); err == nil {
+		t.Fatal("Put without ID succeeded")
+	}
+	if err := s.Put(Meta{ID: "m"}, testROM()); err == nil {
+		t.Fatal("Put without GridKey succeeded")
+	}
+	// An invalid ROM is rejected by the lti layer before touching disk.
+	bad := testROM()
+	bad.Blocks[0].Input = 5
+	if err := s.Put(testMeta("m1", "g1"), bad); err == nil {
+		t.Fatal("Put of invalid ROM succeeded")
+	}
+	if st := s.Stats(); st.WriteErrors != 3 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 3 write errors / 0 entries", st)
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}
