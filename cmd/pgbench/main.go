@@ -5,6 +5,8 @@
 //	pgbench -exp table2 -scale 0.25  Table II CPU times on ckt1..ckt5
 //	pgbench -exp fig4                Fig. 4 ROM structure + ASCII spy plots
 //	pgbench -exp fig5 -points 61     Fig. 5 accuracy sweep (CSV)
+//	pgbench -exp perf                evaluation-path micro-benchmarks
+//	                                 (writes machine-readable BENCH_modal.json)
 //	pgbench -exp all                 everything
 //
 // At -scale 1 the instances match the paper's node/port counts (ckt5 is a
@@ -23,12 +25,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|all")
 	scale := flag.Float64("scale", 0.25, "benchmark scale factor (0,1]; 1 = paper-size grids")
 	points := flag.Int("points", 61, "frequency samples for fig5")
 	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
 	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
 	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
+	benchJSON := flag.String("benchjson", "", "output path for the perf experiment's machine-readable record (default BENCH_modal.json when -exp perf; unset otherwise so 'pgbench -exp all' has no file side effects)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -97,6 +100,27 @@ func main() {
 			return nil
 		})
 	}
+	if want("perf") {
+		any = true
+		jsonPath := *benchJSON
+		if jsonPath == "" && *exp == "perf" {
+			jsonPath = "BENCH_modal.json"
+		}
+		run("Perf: evaluation paths", func() error {
+			res, err := bench.Perf(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if jsonPath != "" {
+				if err := res.WriteJSON(jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", jsonPath)
+			}
+			return nil
+		})
+	}
 	if want("ablation") {
 		any = true
 		run("Ablation: orthonormalization cost", func() error {
@@ -109,7 +133,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|all)\n", *exp)
 		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
 		os.Exit(2)
 	}

@@ -38,9 +38,10 @@ func main() {
 	maxModels := flag.Int("max-models", 0, "model repository bound (0 = default)")
 	storeDir := flag.String("store-dir", "", "persistent ROM store directory (empty = in-memory only; reductions are written through and warm restarts skip reducing)")
 	preload := flag.String("preload", "", "comma-separated models to reduce at startup, each name@scale (e.g. ckt1@0.25)")
+	noModal := flag.Bool("no-modal", false, "disable the modal fast path; every evaluation goes through the factorization cache")
 	flag.Parse()
 
-	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels}
+	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels, DisableModal: *noModal}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

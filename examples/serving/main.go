@@ -138,6 +138,8 @@ func printHealth(base string) {
 			BudgetBytes int64 `json:"budget_bytes"`
 			Bytes       int64 `json:"bytes"`
 			DiskHits    int64 `json:"disk_hits"`
+			ModalEvals  int64 `json:"modal_evals"`
+			Factored    int64 `json:"factored_evals"`
 		} `json:"cache"`
 		Repo struct {
 			Builds   int64 `json:"builds"`
@@ -147,9 +149,14 @@ func printHealth(base string) {
 	}
 	get(base+"/healthz", &health)
 	c := health.Cache
-	fmt.Printf("cache: %d entries (%.1f/%d MiB), %d hits / %d misses (%.0f%% hit rate); repo: %d reductions, %d disk hits\n",
+	hitRate := 0.0
+	if c.Hits+c.Misses > 0 {
+		hitRate = 100 * float64(c.Hits) / float64(c.Hits+c.Misses)
+	}
+	fmt.Printf("evals: %d modal / %d factored; cache: %d entries (%.1f/%d MiB), %d hits / %d misses (%.0f%% hit rate); repo: %d reductions, %d disk hits\n",
+		c.ModalEvals, c.Factored,
 		c.Entries, float64(c.Bytes)/(1<<20), c.BudgetBytes>>20,
-		c.Hits, c.Misses, 100*float64(c.Hits)/float64(c.Hits+c.Misses),
+		c.Hits, c.Misses, hitRate,
 		health.Repo.Builds, health.Repo.DiskHits)
 }
 

@@ -1,0 +1,142 @@
+package dense
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a Cholesky factorization meets a
+// non-positive pivot — the matrix is not (numerically) symmetric positive
+// definite.
+var ErrNotPositiveDefinite = errors.New("dense: matrix is not positive definite")
+
+// Chol is a dense Cholesky factorization A = L·Lᵀ of a symmetric positive
+// definite matrix, storing the lower-triangular factor.
+type Chol struct {
+	l *Mat[float64]
+}
+
+// FactorChol computes the Cholesky factorization of the symmetric positive
+// definite matrix a. Only the lower triangle of a is read; a non-positive
+// pivot reports ErrNotPositiveDefinite.
+func FactorChol(a *Mat[float64]) (*Chol, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, fmt.Errorf("dense: cannot Cholesky-factor non-square %d×%d matrix", a.Rows, a.Cols)
+	}
+	l := NewMat[float64](n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if !(d > 0) { // catches non-positive and NaN pivots alike
+			return nil, fmt.Errorf("%w: pivot %g at column %d", ErrNotPositiveDefinite, d, j)
+		}
+		d = math.Sqrt(d)
+		l.Set(j, j, d)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/d)
+		}
+	}
+	return &Chol{l: l}, nil
+}
+
+// N returns the system dimension.
+func (c *Chol) N() int { return c.l.Rows }
+
+// SolveLower solves L y = b in place (forward substitution).
+func (c *Chol) SolveLower(b []float64) {
+	n := c.N()
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * b[k]
+		}
+		b[i] = s / row[i]
+	}
+}
+
+// SolveLowerT solves Lᵀ y = b in place (back substitution).
+func (c *Chol) SolveLowerT(b []float64) {
+	n := c.N()
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.At(k, i) * b[k]
+		}
+		b[i] = s / c.l.At(i, i)
+	}
+}
+
+// Solve solves A x = b into dst (dst and b may alias).
+func (c *Chol) Solve(dst, b []float64) error {
+	n := c.N()
+	if len(dst) != n || len(b) != n {
+		return fmt.Errorf("dense: Chol Solve length mismatch (n=%d)", n)
+	}
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	c.SolveLower(dst)
+	c.SolveLowerT(dst)
+	return nil
+}
+
+// EigSymGen solves the generalized symmetric-definite eigenproblem
+// A·v = λ·B·v with A symmetric and B symmetric positive definite, by
+// Cholesky reduction to a standard symmetric problem: with B = L·Lᵀ,
+// Ã = L⁻¹·A·L⁻ᵀ is symmetric and shares the eigenvalues; eigenvectors map
+// back as V = L⁻ᵀ·Q. The returned eigenvector columns are B-orthonormal
+// (Vᵀ·B·V = I, Vᵀ·A·V = diag(vals)) — the congruence that diagonalizes a
+// projected RC-grid pencil once and for all. Eigenvalues ascend. Only the
+// lower triangles of a and b are read; a B that is not positive definite
+// reports ErrNotPositiveDefinite.
+func EigSymGen(a, b *Mat[float64]) (vals []float64, vecs *Mat[float64], err error) {
+	n := a.Rows
+	if n != a.Cols || b.Rows != n || b.Cols != n {
+		return nil, nil, fmt.Errorf("dense: EigSymGen wants equal square matrices, got %d×%d and %d×%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	chol, err := FactorChol(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Ã = L⁻¹ A L⁻ᵀ, built column-by-column from the symmetrized lower
+	// triangle of A so roundoff asymmetry in the input cannot leak through.
+	at := NewMat[float64](n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if i >= j {
+				col[i] = a.At(i, j)
+			} else {
+				col[i] = a.At(j, i)
+			}
+		}
+		chol.SolveLower(col)
+		at.SetCol(j, col)
+	}
+	// Ã ← Ã L⁻ᵀ, i.e. solve L · (row of result)ᵀ per row.
+	for i := 0; i < n; i++ {
+		chol.SolveLower(at.Row(i))
+	}
+	vals, q, err := EigSym(at)
+	if err != nil {
+		return nil, nil, err
+	}
+	// V = L⁻ᵀ Q.
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = q.At(i, j)
+		}
+		chol.SolveLowerT(col)
+		q.SetCol(j, col)
+	}
+	return vals, q, nil
+}

@@ -1,0 +1,126 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randSym(rng *rand.Rand, n int) *Mat[float64] {
+	a := NewMat[float64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := 2*rng.Float64() - 1
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func randSPD(rng *rand.Rand, n int) *Mat[float64] {
+	m := NewMat[float64](n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, 2*rng.Float64()-1)
+		}
+	}
+	b := m.T().Mul(m)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, b.At(i, i)+float64(n)) // diagonal shift: well-conditioned SPD
+	}
+	return b
+}
+
+func TestFactorCholRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 12} {
+		b := randSPD(rng, n)
+		ch, err := FactorChol(b)
+		if err != nil {
+			t.Fatalf("n=%d: FactorChol: %v", n, err)
+		}
+		x := make([]float64, n)
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		if err := ch.Solve(x, rhs); err != nil {
+			t.Fatal(err)
+		}
+		// Residual ‖Bx − rhs‖ must be tiny.
+		var res float64
+		for i := 0; i < n; i++ {
+			s := -rhs[i]
+			for j := 0; j < n; j++ {
+				s += b.At(i, j) * x[j]
+			}
+			res += s * s
+		}
+		if math.Sqrt(res) > 1e-10 {
+			t.Fatalf("n=%d: Cholesky solve residual %g", n, math.Sqrt(res))
+		}
+	}
+}
+
+func TestFactorCholRejectsIndefinite(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, −1
+	if _, err := FactorChol(a); err == nil {
+		t.Fatal("FactorChol accepted an indefinite matrix")
+	}
+}
+
+// TestEigSymGen checks the defining identities of the generalized
+// decomposition: A·vₖ = λₖ·B·vₖ, VᵀBV = I, eigenvalues ascending.
+func TestEigSymGen(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 2, 3, 8, 15} {
+		a := randSym(rng, n)
+		b := randSPD(rng, n)
+		vals, vecs, err := EigSymGen(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: EigSymGen: %v", n, err)
+		}
+		if len(vals) != n || vecs.Rows != n || vecs.Cols != n {
+			t.Fatalf("n=%d: wrong result shape", n)
+		}
+		for k := 1; k < n; k++ {
+			if vals[k] < vals[k-1] {
+				t.Fatalf("n=%d: eigenvalues not ascending", n)
+			}
+		}
+		av := a.Mul(vecs)
+		bv := b.Mul(vecs)
+		for k := 0; k < n; k++ {
+			var res, norm float64
+			for i := 0; i < n; i++ {
+				r := av.At(i, k) - vals[k]*bv.At(i, k)
+				res += r * r
+				norm += bv.At(i, k) * bv.At(i, k)
+			}
+			if math.Sqrt(res) > 1e-9*(1+math.Abs(vals[k]))*math.Sqrt(norm+1) {
+				t.Fatalf("n=%d k=%d: residual ‖Av−λBv‖ = %g", n, k, math.Sqrt(res))
+			}
+		}
+		vbv := vecs.T().Mul(bv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(vbv.At(i, j)-want) > 1e-9 {
+					t.Fatalf("n=%d: VᵀBV deviates from identity at (%d,%d): %g", n, i, j, vbv.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestEigSymGenRejectsIndefiniteB(t *testing.T) {
+	a := Eye[float64](2)
+	b := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, _, err := EigSymGen(a, b); err == nil {
+		t.Fatal("EigSymGen accepted an indefinite B")
+	}
+}

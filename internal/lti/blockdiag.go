@@ -91,6 +91,7 @@ type blockFactor struct {
 
 // factorBlock builds the evaluation context of a single block at s.
 func factorBlock(b *Block, s complex128) (blockFactor, error) {
+	ctrFactorizations.Add(1)
 	pencil := dense.ToComplex(b.C).Scale(s).Sub(dense.ToComplex(b.G))
 	lu, err := dense.FactorLU(pencil)
 	if err != nil {
@@ -111,6 +112,44 @@ func (bf *blockFactor) column() ([]complex128, error) {
 		return nil, err
 	}
 	return bf.l.MulVec(x), nil
+}
+
+// columnInto is column with caller-provided buffers: the solve lands in
+// x[:order] and Lᵢ·x is accumulated into dst. The allocation-free core of
+// the serving layer's factored evaluation path.
+func (bf *blockFactor) columnInto(dst, x []complex128) error {
+	x = x[:len(bf.b)]
+	if err := bf.lu.Solve(x, bf.b); err != nil {
+		return err
+	}
+	for r := range dst {
+		row := bf.l.Row(r)
+		var sum complex128
+		for i, v := range x {
+			sum += row[i] * v
+		}
+		dst[r] += sum
+	}
+	return nil
+}
+
+// addMatColumn is columnInto accumulating into column j of h instead of a
+// contiguous slice, so full-matrix evaluation needs no per-call column
+// temporary.
+func (bf *blockFactor) addMatColumn(h *dense.Mat[complex128], j int, x []complex128) error {
+	x = x[:len(bf.b)]
+	if err := bf.lu.Solve(x, bf.b); err != nil {
+		return err
+	}
+	for r := 0; r < bf.l.Rows; r++ {
+		row := bf.l.Row(r)
+		var sum complex128
+		for i, v := range x {
+			sum += row[i] * v
+		}
+		h.Data[r*h.Cols+j] += sum
+	}
+	return nil
 }
 
 // Factorize factors every block pencil at s into a reusable evaluation
@@ -151,48 +190,86 @@ func (bd *BlockDiagSystem) FactorizeColumn(s complex128, j int) (*BlockDiagFacto
 	return f, nil
 }
 
+// ScratchLen returns the solve-buffer length EvalInto/EvalColumnInto need:
+// the largest factored block order. Callers that pool scratch across models
+// should size to the largest ScratchLen they serve.
+func (f *BlockDiagFactors) ScratchLen() int {
+	n := 0
+	for i := range f.blocks {
+		if l := len(f.blocks[i].b); l > n {
+			n = l
+		}
+	}
+	return n
+}
+
 // Eval computes the full p×m transfer matrix Hr(S) from the cached factors:
 // column Input receives Lᵢ (sCᵢ - Gᵢ)⁻¹ bᵢ (eq. 15), at O(l²) per block.
 func (f *BlockDiagFactors) Eval() (*dense.Mat[complex128], error) {
-	if f.col >= 0 {
-		return nil, fmt.Errorf("lti: column-%d factorization cannot evaluate the full matrix", f.col)
-	}
 	h := dense.NewMat[complex128](f.P, f.M)
-	for i := range f.blocks {
-		col, err := f.blocks[i].column()
-		if err != nil {
-			return nil, err
-		}
-		j := f.blocks[i].input
-		for r := 0; r < f.P; r++ {
-			h.Set(r, j, h.At(r, j)+col[r])
-		}
+	if err := f.EvalInto(h, make([]complex128, f.ScratchLen())); err != nil {
+		return nil, err
 	}
 	return h, nil
 }
 
+// EvalInto is Eval with caller-provided storage: h must be P×M (it is
+// zeroed), scratch at least ScratchLen long. Zero allocations per call.
+func (f *BlockDiagFactors) EvalInto(h *dense.Mat[complex128], scratch []complex128) error {
+	if f.col >= 0 {
+		return fmt.Errorf("lti: column-%d factorization cannot evaluate the full matrix", f.col)
+	}
+	if h.Rows != f.P || h.Cols != f.M {
+		return fmt.Errorf("lti: EvalInto matrix is %d×%d, want %d×%d", h.Rows, h.Cols, f.P, f.M)
+	}
+	for i := range h.Data {
+		h.Data[i] = 0
+	}
+	ctrFactoredEvals.Add(1)
+	for i := range f.blocks {
+		if err := f.blocks[i].addMatColumn(h, f.blocks[i].input, scratch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EvalColumn computes column j of Hr(S) from the cached factors.
 func (f *BlockDiagFactors) EvalColumn(j int) ([]complex128, error) {
+	col := make([]complex128, f.P)
+	if err := f.EvalColumnInto(col, make([]complex128, f.ScratchLen()), j); err != nil {
+		return nil, err
+	}
+	return col, nil
+}
+
+// EvalColumnInto computes column j of Hr(S) into dst (length P, zeroed here)
+// using scratch (at least ScratchLen long) for the block solves. Zero
+// allocations per call — the factored fast path the serving layer pools
+// buffers for.
+func (f *BlockDiagFactors) EvalColumnInto(dst, scratch []complex128, j int) error {
 	if j < 0 || j >= f.M {
-		return nil, fmt.Errorf("lti: column %d out of range %d", j, f.M)
+		return fmt.Errorf("lti: column %d out of range %d", j, f.M)
 	}
 	if f.col >= 0 && j != f.col {
-		return nil, fmt.Errorf("lti: factorization holds column %d, not %d", f.col, j)
+		return fmt.Errorf("lti: factorization holds column %d, not %d", f.col, j)
 	}
-	col := make([]complex128, f.P)
+	if len(dst) != f.P {
+		return fmt.Errorf("lti: EvalColumnInto dst length %d, want %d", len(dst), f.P)
+	}
+	for r := range dst {
+		dst[r] = 0
+	}
+	ctrFactoredEvals.Add(1)
 	for i := range f.blocks {
 		if f.blocks[i].input != j {
 			continue
 		}
-		c, err := f.blocks[i].column()
-		if err != nil {
-			return nil, err
-		}
-		for r := range col {
-			col[r] += c[r]
+		if err := f.blocks[i].columnInto(dst, scratch); err != nil {
+			return err
 		}
 	}
-	return col, nil
+	return nil
 }
 
 // MemBytes estimates the memory retained by the factors — the quantity the

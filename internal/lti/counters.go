@@ -1,0 +1,45 @@
+package lti
+
+import "sync/atomic"
+
+// Package-wide evaluation telemetry. The counters are single atomic adds on
+// paths that each do at least O(l²) arithmetic, so the overhead is noise;
+// they exist so benchmarks (cmd/pgbench -exp perf) and operators can see how
+// much work the modal fast path removes — pencil factorizations performed,
+// and evaluations served modally versus through LU factors.
+var (
+	ctrFactorizations atomic.Int64
+	ctrFactoredEvals  atomic.Int64
+	ctrModalEvals     atomic.Int64
+)
+
+// EvalCounters is a snapshot of the package's evaluation telemetry.
+type EvalCounters struct {
+	// Factorizations counts block pencil LU factorizations (the O(l³)
+	// step the modal form eliminates).
+	Factorizations int64 `json:"factorizations"`
+	// FactoredEvals counts evaluations through LU factors (cached or
+	// one-shot); ModalEvals counts evaluations through pole–residue forms.
+	FactoredEvals int64 `json:"factored_evals"`
+	ModalEvals    int64 `json:"modal_evals"`
+}
+
+// Counters returns the current telemetry snapshot.
+func Counters() EvalCounters {
+	return EvalCounters{
+		Factorizations: ctrFactorizations.Load(),
+		FactoredEvals:  ctrFactoredEvals.Load(),
+		ModalEvals:     ctrModalEvals.Load(),
+	}
+}
+
+// ResetCounters zeroes the telemetry, returning the snapshot from before the
+// reset. Benchmark harnesses bracket timed sections with it.
+func ResetCounters() EvalCounters {
+	c := EvalCounters{
+		Factorizations: ctrFactorizations.Swap(0),
+		FactoredEvals:  ctrFactoredEvals.Swap(0),
+		ModalEvals:     ctrModalEvals.Swap(0),
+	}
+	return c
+}

@@ -1,0 +1,237 @@
+package lti
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dense"
+)
+
+const goldenModalROMPath = "testdata/modal_v2.rom"
+
+// goldenModalSystem is a hand-written modal form over the golden ROM — the
+// values are arbitrary, deliberately NOT produced by Modalize, so the wire
+// format is pinned independently of eigensolver numerics. It covers the
+// format's degrees of freedom: a general (complex-pole) block, a fallback
+// block, and a symmetric block with a direct term.
+func goldenModalSystem() *ModalSystem {
+	bd := goldenBlockDiag()
+	return &ModalSystem{
+		BD: bd,
+		Blocks: []ModalBlock{
+			{
+				Input: 0, Modal: true,
+				Poles: []complex128{complex(-1.5, 2.25), complex(-1.5, -2.25)},
+				R: &dense.Mat[complex128]{Rows: 2, Cols: 2, Data: []complex128{
+					complex(0.5, -0.125), complex(1, 0.25),
+					complex(0.5, 0.125), complex(1, -0.25),
+				}},
+			},
+			{Input: 1}, // LU fallback
+			{
+				Input: 0, Modal: true, Sym: true,
+				Poles: []complex128{complex(-0.75, 0)},
+				R:     &dense.Mat[complex128]{Rows: 1, Cols: 2, Data: []complex128{complex(-0.3, 0), complex(-0.6, 0)}},
+				D:     []complex128{complex(0.01, 0), complex(-0.02, 0)},
+			},
+		},
+	}
+}
+
+func encodeGoldenModal(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveModal(&buf, goldenModalSystem()); err != nil {
+		t.Fatalf("SaveModal: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestModalGoldenFile pins the modal wire format exactly like the system
+// golden file pins the block format.
+func TestModalGoldenFile(t *testing.T) {
+	enc := encodeGoldenModal(t)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenModalROMPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenModalROMPath, enc, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixture, err := os.ReadFile(goldenModalROMPath)
+	if err != nil {
+		t.Fatalf("reading golden modal fixture (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(enc, fixture) {
+		t.Fatalf("SaveModal output diverged from %s (%d vs %d bytes): the on-disk format changed; bump BlockDiagFormatVersion and regenerate with -update", goldenModalROMPath, len(enc), len(fixture))
+	}
+	bd, ms, err := LoadROM(bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatalf("LoadROM(fixture): %v", err)
+	}
+	if !reflect.DeepEqual(bd, goldenBlockDiag()) {
+		t.Fatalf("fixture decoded to a different system")
+	}
+	if !reflect.DeepEqual(ms, goldenModalSystem()) {
+		t.Fatalf("fixture decoded to a different modal form:\n got %+v\nwant %+v", ms, goldenModalSystem())
+	}
+}
+
+// TestModalRoundTripFromModalize round-trips a Modalize-produced form (the
+// production path) and checks evaluation equivalence of the reloaded system.
+func TestModalRoundTripFromModalize(t *testing.T) {
+	ms, err := rcBlockDiag().Modalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModal(&buf, ms); err != nil {
+		t.Fatal(err)
+	}
+	_, got, err := LoadROM(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("LoadROM dropped the modal section")
+	}
+	if !reflect.DeepEqual(got.Blocks, ms.Blocks) {
+		t.Fatal("modal blocks changed across the round trip")
+	}
+}
+
+// TestLoadROMWithoutModalSection: a SaveBlockDiag stream loads with a nil
+// modal form.
+func TestLoadROMWithoutModalSection(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBlockDiag(&buf, goldenBlockDiag()); err != nil {
+		t.Fatal(err)
+	}
+	bd, ms, err := LoadROM(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd == nil || ms != nil {
+		t.Fatalf("LoadROM = (%v, %v), want (system, nil)", bd != nil, ms)
+	}
+}
+
+// TestLoadModalBitFlips: one-bit corruptions of a modal stream must never
+// load to a silently different ROM or modal form.
+func TestLoadModalBitFlips(t *testing.T) {
+	enc := encodeGoldenModal(t)
+	wantBD, wantMS := goldenBlockDiag(), goldenModalSystem()
+	for pos := 0; pos < len(enc); pos += 3 { // every 3rd byte keeps the test fast
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 1 << (pos % 8)
+		bd, ms, err := func() (bd *BlockDiagSystem, ms *ModalSystem, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("flip at byte %d: LoadROM panicked: %v", pos, r)
+				}
+			}()
+			return LoadROM(bytes.NewReader(mut))
+		}()
+		if err == nil && (!reflect.DeepEqual(bd, wantBD) || !reflect.DeepEqual(ms, wantMS)) {
+			t.Fatalf("flip at byte %d loaded a silently different modal ROM", pos)
+		}
+	}
+}
+
+// goldenModalWire returns the golden modal stream in wire form with a valid
+// checksum, ready for adversarial mutation.
+func goldenModalWire(t *testing.T) *gobBlockDiag {
+	t.Helper()
+	ms := goldenModalSystem()
+	g := goldenWire(t)
+	g.Modal = nil
+	for i := range ms.Blocks {
+		g.Modal = append(g.Modal, toGobModal(&ms.Blocks[i]))
+	}
+	g.Checksum = 0
+	g.Checksum = checksumBlockDiag(g)
+	return g
+}
+
+// TestLoadModalBadShapes crafts checksum-valid streams whose modal sections
+// are structurally inconsistent; every one must be rejected without panic.
+func TestLoadModalBadShapes(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*gobBlockDiag)
+	}{
+		{"modal count mismatch", func(g *gobBlockDiag) { g.Modal = g.Modal[:2] }},
+		{"odd pole floats", func(g *gobBlockDiag) { g.Modal[0].Poles = g.Modal[0].Poles[:3] }},
+		{"residue rows disagree with poles", func(g *gobBlockDiag) { g.Modal[0].R.Rows = 1; g.Modal[0].R.Data = g.Modal[0].R.Data[:4] }},
+		{"odd residue width", func(g *gobBlockDiag) {
+			g.Modal[0].R = gobMat{Rows: 2, Cols: 3, Data: []float64{1, 2, 3, 4, 5, 6}}
+		}},
+		{"residue data short", func(g *gobBlockDiag) { g.Modal[0].R.Data = g.Modal[0].R.Data[:2] }},
+		{"residue cols disagree with outputs", func(g *gobBlockDiag) {
+			g.Modal[2].R = gobMat{Rows: 1, Cols: 6, Data: []float64{1, 2, 3, 4, 5, 6}}
+		}},
+		{"direct term wrong length", func(g *gobBlockDiag) { g.Modal[2].D = []float64{1, 2, 3, 4, 5, 6} }},
+		{"fallback with data", func(g *gobBlockDiag) { g.Modal[1].Poles = []float64{1, 2} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("LoadROM panicked: %v", r)
+				}
+			}()
+			g := goldenModalWire(t)
+			tc.mutate(g)
+			g.Checksum = 0
+			g.Checksum = checksumBlockDiag(g)
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(g); err != nil {
+				t.Fatal(err)
+			}
+			if _, ms, err := LoadROM(bytes.NewReader(buf.Bytes())); err == nil {
+				t.Fatalf("crafted modal stream loaded: %+v", ms)
+			}
+		})
+	}
+}
+
+// TestChecksumCoversModalSection: mutating any modal payload changes the
+// digest.
+func TestChecksumCoversModalSection(t *testing.T) {
+	base := goldenModalWire(t).Checksum
+	mutations := []struct {
+		name   string
+		mutate func(*gobBlockDiag)
+	}{
+		{"pole value", func(g *gobBlockDiag) { g.Modal[0].Poles[0]++ }},
+		{"residue value", func(g *gobBlockDiag) { g.Modal[0].R.Data[0]++ }},
+		{"direct value", func(g *gobBlockDiag) { g.Modal[2].D[1]++ }},
+		{"sym flag", func(g *gobBlockDiag) { g.Modal[2].Sym = false }},
+		{"modal flag", func(g *gobBlockDiag) { g.Modal[1].Modal = true }},
+		{"drop section", func(g *gobBlockDiag) { g.Modal = nil }},
+	}
+	for _, tc := range mutations {
+		g := goldenModalWire(t)
+		g.Checksum = 0
+		tc.mutate(g)
+		if checksumBlockDiag(g) == base {
+			t.Errorf("%s: mutation did not change the checksum", tc.name)
+		}
+	}
+}
+
+// TestSaveModalRejectsInvalid keeps the save path honest.
+func TestSaveModalRejectsInvalid(t *testing.T) {
+	ms := goldenModalSystem()
+	ms.Blocks[0].R = &dense.Mat[complex128]{Rows: 1, Cols: 2, Data: make([]complex128, 2)} // rows ≠ poles
+	err := SaveModal(&bytes.Buffer{}, ms)
+	if err == nil || !strings.Contains(err.Error(), "residue") {
+		t.Fatalf("err = %v, want residue inconsistency", err)
+	}
+}

@@ -58,7 +58,12 @@ func encodeGolden(t *testing.T) []byte {
 	return buf.Bytes()
 }
 
-const goldenROMPath = "testdata/blockdiag_v1.rom"
+const (
+	goldenROMPath = "testdata/blockdiag_v2.rom"
+	// goldenV1ROMPath is the format-1 fixture kept from before the modal
+	// section existed; current loaders must reject it by version, cleanly.
+	goldenV1ROMPath = "testdata/blockdiag_v1.rom"
+)
 
 // TestBlockDiagGoldenFile pins the serialized format: the committed fixture
 // must decode to exactly the in-code golden ROM, and today's encoder must
@@ -153,8 +158,22 @@ func goldenWire(t *testing.T) *gobBlockDiag {
 	return g
 }
 
+// TestLoadBlockDiagV1Rejected pins the migration story: a store written by a
+// format-1 binary is rejected by version (and then rebuilt by the caller),
+// never half-decoded.
+func TestLoadBlockDiagV1Rejected(t *testing.T) {
+	fixture, err := os.ReadFile(goldenV1ROMPath)
+	if err != nil {
+		t.Fatalf("reading v1 fixture: %v", err)
+	}
+	_, err = LoadBlockDiag(bytes.NewReader(fixture))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("loading a v1 stream: err = %v, want version mismatch", err)
+	}
+}
+
 func TestLoadBlockDiagWrongVersion(t *testing.T) {
-	for _, version := range []int{0, 2, 99, -1} {
+	for _, version := range []int{0, 1, 99, -1} {
 		g := goldenWire(t)
 		g.Version = version
 		g.Checksum = 0

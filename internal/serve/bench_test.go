@@ -4,9 +4,11 @@ import (
 	"testing"
 )
 
-// The cold/cached pair documents the factorization cache's payoff: cold pays
-// the per-block O(l³) complex LU factorization on every evaluation, cached
-// pays it once and then only the O(l²) triangular solves.
+// The cold/cached/modal triple documents the evaluation-path economics: cold
+// pays the per-block O(l³) complex LU factorization on every evaluation,
+// cached pays it once and then O(l²) triangular solves per evaluation, and
+// modal pays a one-time diagonalization at build and then O(q) per
+// evaluation — no factorization, no solves, no cache.
 
 func BenchmarkEvalColdFactorization(b *testing.B) {
 	m := testModel(b, 0.25)
@@ -40,21 +42,103 @@ func BenchmarkEvalCachedFactorization(b *testing.B) {
 	}
 }
 
-// BenchmarkSweepRepeated measures a full served sweep re-run at an identical
-// grid — the serving layer's steady state, where every frequency point hits
-// the cache.
-func BenchmarkSweepRepeated(b *testing.B) {
+// BenchmarkEvalModal is the BenchmarkEvalCachedFactorization-equivalent on
+// the modal fast path: same ROM, same full-matrix evaluation, no cache and
+// no factors.
+func BenchmarkEvalModal(b *testing.B) {
+	m := testModel(b, 0.25)
+	if m.Modal == nil || m.ModalBlocks != m.Blocks {
+		b.Fatalf("test model not fully modal (%d/%d blocks)", m.ModalBlocks, m.Blocks)
+	}
+	s := complex(0, 1e9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Modal.Eval(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The column pair measures the single-entry hot path with pooled scratch —
+// the per-point cost inside a sweep. Both are allocation-free; the modal one
+// additionally performs no triangular solves.
+
+func BenchmarkEvalColumnCached(b *testing.B) {
 	m := testModel(b, 0.25)
 	cache := NewFactorCache(0)
+	s := complex(0, 1e9)
+	f, _, err := cache.GetOrFactorColumn(m.ID, m.ROM, s, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]complex128, m.Outputs)
+	scratch := make([]complex128, f.ScratchLen())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _, err := cache.GetOrFactorColumn(m.ID, m.ROM, s, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.EvalColumnInto(dst, scratch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalColumnModal(b *testing.B) {
+	m := testModel(b, 0.25)
+	if m.Modal == nil {
+		b.Fatal("test model has no modal form")
+	}
+	s := complex(0, 1e9)
+	dst := make([]complex128, m.Outputs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Modal.EvalColumnInto(dst, s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The sweep pair measures a full served sweep re-run at an identical grid —
+// the serving layer's steady state. The factored variant hits the cache at
+// every point; the modal variant is a single vectorized residue pass.
+
+func BenchmarkSweepRepeatedFactored(b *testing.B) {
+	m := testModel(b, 0.25)
 	eng := NewEngine(0)
 	defer eng.Close()
-	if _, err := Sweep(eng, cache, m, 0, 0, 1e5, 1e15, 200); err != nil {
+	ev := NewEvaluator(eng, NewFactorCache(0), false)
+	if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Sweep(eng, cache, m, 0, 0, 1e5, 1e15, 200); err != nil {
+		if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepRepeatedModal(b *testing.B) {
+	m := testModel(b, 0.25)
+	eng := NewEngine(0)
+	defer eng.Close()
+	ev := NewEvaluator(eng, NewFactorCache(0), true)
+	if ev.modalFor(m) == nil {
+		b.Fatal("test model not served modally")
+	}
+	if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
 			b.Fatal(err)
 		}
 	}

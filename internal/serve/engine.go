@@ -2,12 +2,8 @@ package serve
 
 import (
 	"fmt"
-	"math/cmplx"
 	"runtime"
 	"sync"
-
-	"repro/internal/dense"
-	"repro/internal/sim"
 )
 
 // Engine is the shared fixed-size worker pool that batched evaluations fan
@@ -102,86 +98,4 @@ func (e *Engine) Map(n int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstErr
-}
-
-// SweepPoint is one frequency sample of a batched AC sweep.
-type SweepPoint struct {
-	Omega float64 `json:"omega"`
-	Re    float64 `json:"re"`
-	Im    float64 `json:"im"`
-	Mag   float64 `json:"mag"`
-}
-
-// Sweep evaluates H[row][col](jω) of the model's ROM over the standard
-// logarithmic grid, fanning the frequency points across the engine. Every
-// point goes through the factorization cache, so sweeps from concurrent
-// requests on the same grid share pencil factors.
-func Sweep(eng *Engine, cache *FactorCache, m *Model, row, col int, wMin, wMax float64, points int) ([]SweepPoint, error) {
-	if row < 0 || row >= m.Outputs || col < 0 || col >= m.Ports {
-		return nil, badRequest("entry (%d,%d) out of range %d×%d", row, col, m.Outputs, m.Ports)
-	}
-	grid, err := sim.LogGrid(wMin, wMax, points)
-	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	out := make([]SweepPoint, points)
-	err = eng.Map(points, func(k int) error {
-		f, _, err := cache.GetOrFactorColumn(m.ID, m.ROM, complex(0, grid[k]), col)
-		if err != nil {
-			return err
-		}
-		c, err := f.EvalColumn(col)
-		if err != nil {
-			return err
-		}
-		h := c[row]
-		out[k] = SweepPoint{Omega: grid[k], Re: real(h), Im: imag(h), Mag: cmplx.Abs(h)}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// EvalBatch computes the full p×m transfer matrix at each requested angular
-// frequency, one engine task per frequency, through the factorization cache.
-func EvalBatch(eng *Engine, cache *FactorCache, m *Model, omegas []float64) ([]*dense.Mat[complex128], error) {
-	out := make([]*dense.Mat[complex128], len(omegas))
-	err := eng.Map(len(omegas), func(k int) error {
-		f, _, err := cache.GetOrFactor(m.ID, m.ROM, complex(0, omegas[k]))
-		if err != nil {
-			return err
-		}
-		h, err := f.Eval()
-		if err != nil {
-			return err
-		}
-		out[k] = h
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// Transient runs a fixed-step transient on the model's ROM as a single
-// engine task, so the pool's worker count bounds total evaluation
-// concurrency across sweeps, evals, and transients alike: concurrent
-// transient requests queue for slots instead of each spawning its own
-// goroutine fan-out. The block solves inside the occupied slot run
-// serially (Workers = 1).
-func Transient(eng *Engine, m *Model, opts sim.TransientOptions) (*sim.Result, error) {
-	opts.Workers = 1
-	var res *sim.Result
-	err := eng.Map(1, func(int) error {
-		var err error
-		res, err = sim.SimulateBlockDiag(m.ROM, opts)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	return res, nil
 }

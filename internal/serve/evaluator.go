@@ -1,0 +1,259 @@
+package serve
+
+import (
+	"math/cmplx"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dense"
+	"repro/internal/lti"
+	"repro/internal/sim"
+)
+
+// SweepPoint is one frequency sample of a batched AC sweep.
+type SweepPoint struct {
+	Omega float64 `json:"omega"`
+	Re    float64 `json:"re"`
+	Im    float64 `json:"im"`
+	Mag   float64 `json:"mag"`
+}
+
+// Entry addresses one transfer-matrix entry H[Row][Col] in a batched sweep.
+type Entry struct {
+	Row int `json:"row"`
+	Col int `json:"col"`
+}
+
+// EntrySweep is the result of sweeping one entry over a frequency grid.
+type EntrySweep struct {
+	Row    int          `json:"row"`
+	Col    int          `json:"col"`
+	Points []SweepPoint `json:"points"`
+}
+
+// Evaluator routes evaluation requests onto the fastest applicable path and
+// accounts which path served them. Models whose every block carries a modal
+// (pole–residue) form evaluate factorization-free in O(q) per entry — no
+// cache lookups, no locks, no allocations on the hot loop; everything else
+// goes through the factorization cache exactly as before. Per-request
+// scratch for the factored path is pooled so steady-state column evaluations
+// allocate nothing either.
+type Evaluator struct {
+	eng      *Engine
+	cache    *FactorCache
+	useModal bool
+
+	modalEvals    atomic.Int64
+	factoredEvals atomic.Int64
+
+	scratch sync.Pool // *evalScratch
+}
+
+// evalScratch is the reusable per-task buffer set of the factored path:
+// col holds one output column (p), x one block solve (max block order).
+type evalScratch struct {
+	col []complex128
+	x   []complex128
+}
+
+// NewEvaluator wires an evaluator over the shared engine and cache.
+// useModal=false pins every model to the factored path (the operational
+// escape hatch and the benchmark baseline).
+func NewEvaluator(eng *Engine, cache *FactorCache, useModal bool) *Evaluator {
+	return &Evaluator{eng: eng, cache: cache, useModal: useModal}
+}
+
+// modalFor returns the model's modal system when the modal fast path fully
+// covers it — every block diagonalized. Partially covered models stay on the
+// factored path: their fallback blocks would otherwise pay an uncached LU
+// per frequency, which the cache serves cheaper.
+func (ev *Evaluator) modalFor(m *Model) *lti.ModalSystem {
+	if !ev.useModal || m.Modal == nil || m.ModalBlocks != m.Blocks {
+		return nil
+	}
+	return m.Modal
+}
+
+// PathStats reports how many entry evaluations each path has served.
+func (ev *Evaluator) PathStats() (modal, factored int64) {
+	return ev.modalEvals.Load(), ev.factoredEvals.Load()
+}
+
+// getScratch hands out a buffer set sized for model m.
+func (ev *Evaluator) getScratch(m *Model) *evalScratch {
+	sc, _ := ev.scratch.Get().(*evalScratch)
+	if sc == nil {
+		sc = &evalScratch{}
+	}
+	if cap(sc.col) < m.Outputs {
+		sc.col = make([]complex128, m.Outputs)
+	}
+	return sc
+}
+
+// sizeSolveBuf grows the solve buffer to the factorization's need.
+func (sc *evalScratch) sizeSolveBuf(f *lti.BlockDiagFactors) []complex128 {
+	if n := f.ScratchLen(); cap(sc.x) < n {
+		sc.x = make([]complex128, n)
+	}
+	return sc.x[:cap(sc.x)]
+}
+
+// Sweep evaluates H[row][col](jω) of the model's ROM over a logarithmic
+// grid. On the modal path the whole sweep is a single vectorized residue
+// pass; on the factored path every point goes through the factorization
+// cache, so sweeps from concurrent requests on the same grid share pencil
+// factors.
+func (ev *Evaluator) Sweep(m *Model, row, col int, wMin, wMax float64, points int) ([]SweepPoint, error) {
+	sweeps, err := ev.SweepEntries(m, []Entry{{Row: row, Col: col}}, wMin, wMax, points)
+	if err != nil {
+		return nil, err
+	}
+	return sweeps[0].Points, nil
+}
+
+// SweepEntries evaluates several transfer-matrix entries over one shared
+// frequency grid in a single pass: the modal path replays its residue data
+// per entry with zero factorizations, and the factored path factors each
+// (frequency, column) pencil once no matter how many entries read it.
+func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64, points int) ([]EntrySweep, error) {
+	if len(entries) == 0 {
+		return nil, badRequest("no entries requested")
+	}
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= m.Outputs || e.Col < 0 || e.Col >= m.Ports {
+			return nil, badRequest("entry (%d,%d) out of range %d×%d", e.Row, e.Col, m.Outputs, m.Ports)
+		}
+	}
+	grid, err := sim.LogGrid(wMin, wMax, points)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	out := make([]EntrySweep, len(entries))
+	for i, e := range entries {
+		out[i] = EntrySweep{Row: e.Row, Col: e.Col, Points: make([]SweepPoint, points)}
+	}
+
+	if ms := ev.modalFor(m); ms != nil {
+		// One task per entry: each is a full vectorized pass over the grid.
+		err := ev.eng.Map(len(entries), func(i int) error {
+			dst := make([]complex128, points)
+			if err := ms.SweepEntryInto(dst, entries[i].Row, entries[i].Col, grid); err != nil {
+				return err
+			}
+			for k, h := range dst {
+				out[i].Points[k] = SweepPoint{Omega: grid[k], Re: real(h), Im: imag(h), Mag: cmplx.Abs(h)}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ev.modalEvals.Add(int64(len(entries) * points))
+		return out, nil
+	}
+
+	// Factored path: one task per frequency; each needed column is factored
+	// (through the cache) and evaluated once, then every entry reading that
+	// column picks its row out of the shared buffer.
+	byCol := make(map[int][]int, len(entries)) // column → indices into entries
+	for i, e := range entries {
+		byCol[e.Col] = append(byCol[e.Col], i)
+	}
+	err = ev.eng.Map(points, func(k int) error {
+		sc := ev.getScratch(m)
+		defer ev.scratch.Put(sc)
+		s := complex(0, grid[k])
+		for col, idxs := range byCol {
+			f, _, err := ev.cache.GetOrFactorColumn(m.ID, m.ROM, s, col)
+			if err != nil {
+				return err
+			}
+			colBuf := sc.col[:m.Outputs]
+			if err := f.EvalColumnInto(colBuf, sc.sizeSolveBuf(f), col); err != nil {
+				return err
+			}
+			for _, i := range idxs {
+				h := colBuf[entries[i].Row]
+				out[i].Points[k] = SweepPoint{Omega: grid[k], Re: real(h), Im: imag(h), Mag: cmplx.Abs(h)}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ev.factoredEvals.Add(int64(len(entries) * points))
+	return out, nil
+}
+
+// EvalBatch computes the full p×m transfer matrix at each requested angular
+// frequency, one engine task per frequency — modal when available, through
+// the factorization cache otherwise.
+func (ev *Evaluator) EvalBatch(m *Model, omegas []float64) ([]*dense.Mat[complex128], error) {
+	out := make([]*dense.Mat[complex128], len(omegas))
+	ms := ev.modalFor(m)
+	err := ev.eng.Map(len(omegas), func(k int) error {
+		s := complex(0, omegas[k])
+		if ms != nil {
+			h, err := ms.Eval(s)
+			if err != nil {
+				return err
+			}
+			out[k] = h
+			return nil
+		}
+		f, _, err := ev.cache.GetOrFactor(m.ID, m.ROM, s)
+		if err != nil {
+			return err
+		}
+		sc := ev.getScratch(m)
+		defer ev.scratch.Put(sc)
+		h := dense.NewMat[complex128](m.Outputs, m.Ports)
+		if err := f.EvalInto(h, sc.sizeSolveBuf(f)); err != nil {
+			return err
+		}
+		out[k] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := int64(len(omegas) * m.Ports)
+	if ms != nil {
+		ev.modalEvals.Add(n)
+	} else {
+		ev.factoredEvals.Add(n)
+	}
+	return out, nil
+}
+
+// Transient runs a transient on the model's ROM as a single engine task, so
+// the pool's worker count bounds total evaluation concurrency across sweeps,
+// evals, and transients alike. Fully modal models integrate each mode
+// exactly (per-mode exponentials, no implicit solves); the rest run the
+// fixed-step implicit integrator. The block work inside the occupied slot
+// runs serially (Workers = 1).
+func (ev *Evaluator) Transient(m *Model, opts sim.TransientOptions) (*sim.Result, error) {
+	opts.Workers = 1
+	ms := ev.modalFor(m)
+	var res *sim.Result
+	err := ev.eng.Map(1, func(int) error {
+		var err error
+		if ms != nil {
+			res, err = sim.SimulateModal(ms, opts)
+		} else {
+			res, err = sim.SimulateBlockDiag(m.ROM, opts)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ms != nil {
+		ev.modalEvals.Add(1)
+	} else {
+		ev.factoredEvals.Add(1)
+	}
+	return res, nil
+}

@@ -244,6 +244,11 @@ type CacheStats struct {
 	// counters; the Server fills them in when reporting merged stats.
 	DiskHits   int64 `json:"disk_hits"`
 	DiskMisses int64 `json:"disk_misses"`
+	// ModalEvals and FactoredEvals count entry evaluations served by the
+	// modal fast path versus the factored (LU + cache) path; the Server
+	// fills them in from its Evaluator when reporting merged stats.
+	ModalEvals    int64 `json:"modal_evals"`
+	FactoredEvals int64 `json:"factored_evals"`
 }
 
 // Stats reports cache occupancy and hit/miss/eviction counters.

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/json"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -272,21 +273,36 @@ func TestServerWarmRestart(t *testing.T) {
 		t.Fatalf("serving after preload performed %d builds, want 0", st.Builds)
 	}
 
-	// Merged cache stats expose the byte budget and the disk traffic.
+	// Merged cache stats expose the disk traffic and which path served the
+	// sweep: the preloaded model is fully modal, so the sweep rode the
+	// factorization-free path and the factor cache stayed empty.
 	cs := srv2.CacheStats()
-	if cs.BudgetBytes <= 0 || cs.Bytes <= 0 {
-		t.Fatalf("cache stats missing byte accounting: %+v", cs)
+	if cs.BudgetBytes <= 0 {
+		t.Fatalf("cache stats missing byte budget: %+v", cs)
 	}
 	if cs.DiskHits < 1 {
 		t.Fatalf("cache stats missing disk hits: %+v", cs)
 	}
+	if cs.ModalEvals < 10 {
+		t.Fatalf("preloaded model did not serve modally: %+v", cs)
+	}
+	if cs.FactoredEvals != 0 || cs.Misses != 0 {
+		t.Fatalf("modal-covered model touched the factored path: %+v", cs)
+	}
 }
 
-// TestSweepWarmedByReduce is the cache-admission acceptance test: /reduce
-// pre-factors the standard LogGrid frequencies, so the first default-grid
-// /sweep afterward performs zero factorizations — every point is a hit.
+// TestSweepWarmedByReduce is the cache-admission acceptance test for the
+// factored path (modal disabled — a modal-covered model never factors, so
+// there would be nothing to warm): /reduce pre-factors the standard LogGrid
+// frequencies, so the first default-grid /sweep afterward performs zero
+// factorizations — every point is a hit.
 func TestSweepWarmedByReduce(t *testing.T) {
-	srv, ts := newTestServer(t)
+	srv := New(Config{Workers: 4, DisableModal: true})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
 	info := reduceTestModel(t, ts) // warms the standard grid on return
 
 	before := srv.CacheStats()
@@ -317,5 +333,54 @@ func TestSweepWarmedByReduce(t *testing.T) {
 	}
 	if after.Hits-before.Hits < int64(DefaultSweepPoints) {
 		t.Fatalf("sweep produced %d cache hits, want ≥ %d", after.Hits-before.Hits, DefaultSweepPoints)
+	}
+}
+
+// TestLegacyStoreEntryUpgradedWithModal: a store file written without a
+// modal section (pre-v2-modal producer) is re-diagonalized once on load and
+// upgraded in place, so the next restart reads the modal form from disk.
+func TestLegacyStoreEntryUpgradedWithModal(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir)
+
+	// Build a model once to obtain a valid ROM + metadata, then overwrite
+	// its store entry with a modal-less file (what an old binary wrote).
+	repo1 := NewRepositoryWithStore(0, st)
+	key := ModelKey{Benchmark: "ckt1", Scale: 0.1}
+	m, _, err := repo1.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyJSON, _ := json.Marshal(func() ModelKey { k := key; k.Normalize(); return k }())
+	legacyMeta := store.Meta{
+		ID: m.ID, GridKey: m.GridKey, ModelKey: keyJSON,
+		Nodes: m.Nodes, Ports: m.Ports, Outputs: m.Outputs,
+		Order: m.Order, Blocks: m.Blocks,
+		Created: m.Created,
+	}
+	if err := st.Put(legacyMeta, m.ROM, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, modal, _, err := st.Get(m.ID, m.GridKey); err != nil || modal != nil {
+		t.Fatalf("precondition: store entry should be modal-less (modal=%v, err=%v)", modal != nil, err)
+	}
+
+	// A fresh repository loads the legacy entry, diagonalizes, and must
+	// write the upgraded file back.
+	repo2 := NewRepositoryWithStore(0, openStore(t, dir))
+	m2, outcome, err := repo2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeDiskHit {
+		t.Fatalf("outcome = %v, want disk hit", outcome)
+	}
+	if m2.Modal == nil || m2.ModalBlocks != m2.Blocks {
+		t.Fatalf("legacy load did not produce a modal form (%d/%d)", m2.ModalBlocks, m2.Blocks)
+	}
+	if _, modal, meta, err := st.Get(m.ID, m.GridKey); err != nil || modal == nil {
+		t.Fatalf("store entry was not upgraded with the modal form (err=%v)", err)
+	} else if meta.ModalBlocks != m2.ModalBlocks {
+		t.Fatalf("upgraded meta.ModalBlocks = %d, want %d", meta.ModalBlocks, m2.ModalBlocks)
 	}
 }

@@ -103,6 +103,11 @@ type Model struct {
 	ReduceTime time.Duration `json:"reduce_ns"`
 	Created    time.Time     `json:"created"`
 
+	// ModalBlocks counts the ROM blocks carrying a pole–residue (modal)
+	// form — the blocks every evaluation serves without factorization. The
+	// remaining Blocks − ModalBlocks fall back to LU pencils.
+	ModalBlocks int `json:"modal_blocks"`
+
 	// FromStore reports that this process loaded the ROM from the persistent
 	// store instead of reducing it (BuildTime/ReduceTime then record what the
 	// original reduction cost, Created when it ran).
@@ -110,6 +115,10 @@ type Model struct {
 
 	// ROM is the block-diagonal reduced model (immutable).
 	ROM *lti.BlockDiagSystem `json:"-"`
+	// Modal is the diagonalize-once fast path of ROM; nil only if
+	// modalization failed outright (evaluation then stays on the factored
+	// path).
+	Modal *lti.ModalSystem `json:"-"`
 	// GridKey fingerprints the generated grid configuration.
 	GridKey string `json:"-"`
 }
@@ -173,6 +182,11 @@ type Repository struct {
 	maxModels int
 	buildSem  chan struct{}
 	store     *store.Store
+	// noModal skips block diagonalization entirely (builds and legacy disk
+	// loads) — the full extent of the -no-modal escape hatch, guarding
+	// against the diagonalization code itself, not just its use at serve
+	// time.
+	noModal bool
 
 	builds, memHits, diskHits, diskMisses, storeErrors atomic.Int64
 }
@@ -188,6 +202,11 @@ type repoEntry struct {
 func NewRepository(maxModels int) *Repository {
 	return NewRepositoryWithStore(maxModels, nil)
 }
+
+// DisableModal makes the repository skip block diagonalization for every
+// model it builds or loads. Must be called before the repository serves
+// requests.
+func (r *Repository) DisableModal() { r.noModal = true }
 
 // NewRepositoryWithStore returns a repository backed by the given persistent
 // ROM store (nil for memory-only): reductions write through to it and misses
@@ -261,7 +280,7 @@ func (r *Repository) get(key ModelKey, allowBuild bool) (*Model, Outcome, error)
 			e.err = fmt.Errorf("%w: %s", errNotInStore, key.ID())
 		} else {
 			outcome = OutcomeBuilt
-			e.model, e.err = safeBuild(key, r.buildSem)
+			e.model, e.err = safeBuild(key, r.buildSem, r.noModal)
 			if e.err == nil {
 				r.builds.Add(1)
 				r.writeThrough(key, e.model)
@@ -296,13 +315,20 @@ func (r *Repository) loadFromStore(key ModelKey) *Model {
 	}
 	cfg.RCOnly = key.RCOnly
 	gridKey := cfg.Key()
-	rom, meta, err := r.store.Get(key.ID(), gridKey)
+	rom, modal, meta, err := r.store.Get(key.ID(), gridKey)
 	if err != nil {
 		r.diskMisses.Add(1)
 		return nil
 	}
 	r.diskHits.Add(1)
-	return &Model{
+	rediagonalized := false
+	if modal == nil && !r.noModal {
+		// Stored before modal persistence (or stripped): diagonalize now so
+		// this process still serves through the fast path.
+		modal = modalize(rom)
+		rediagonalized = modal != nil
+	}
+	m := &Model{
 		ID:         key.ID(),
 		Key:        key,
 		Nodes:      meta.Nodes,
@@ -315,8 +341,28 @@ func (r *Repository) loadFromStore(key ModelKey) *Model {
 		Created:    meta.Created,
 		FromStore:  true,
 		ROM:        rom,
+		Modal:      modal,
 		GridKey:    gridKey,
 	}
+	if modal != nil {
+		m.ModalBlocks, _ = modal.ModalCount()
+	}
+	if rediagonalized {
+		// Upgrade the stored file in place so the diagonalization is paid
+		// once, not on every restart.
+		r.writeThrough(key, m)
+	}
+	return m
+}
+
+// modalize wraps Modalize with a nil-on-failure policy: a model without a
+// modal form is merely slower, never broken.
+func modalize(rom *lti.BlockDiagSystem) *lti.ModalSystem {
+	ms, err := rom.Modalize()
+	if err != nil {
+		return nil
+	}
+	return ms
 }
 
 // writeThrough persists a freshly reduced model. Failures are counted, not
@@ -331,19 +377,20 @@ func (r *Repository) writeThrough(key ModelKey, m *Model) {
 		return
 	}
 	meta := store.Meta{
-		ID:       m.ID,
-		GridKey:  m.GridKey,
-		ModelKey: keyJSON,
-		Nodes:    m.Nodes,
-		Ports:    m.Ports,
-		Outputs:  m.Outputs,
-		Order:    m.Order,
-		Blocks:   m.Blocks,
-		BuildNS:  int64(m.BuildTime),
-		ReduceNS: int64(m.ReduceTime),
-		Created:  m.Created,
+		ID:          m.ID,
+		GridKey:     m.GridKey,
+		ModelKey:    keyJSON,
+		Nodes:       m.Nodes,
+		Ports:       m.Ports,
+		Outputs:     m.Outputs,
+		Order:       m.Order,
+		Blocks:      m.Blocks,
+		ModalBlocks: m.ModalBlocks,
+		BuildNS:     int64(m.BuildTime),
+		ReduceNS:    int64(m.ReduceTime),
+		Created:     m.Created,
 	}
-	if err := r.store.Put(meta, m.ROM); err != nil {
+	if err := r.store.Put(meta, m.ROM, m.Modal); err != nil {
 		r.storeErrors.Add(1)
 	}
 }
@@ -440,7 +487,7 @@ func (r *Repository) Models() []*Model {
 // and converting panics to errors on every exit path — a panicking build
 // must not strand a semaphore slot or leave single-flight waiters blocked
 // on a ready channel that never closes.
-func safeBuild(key ModelKey, sem chan struct{}) (m *Model, err error) {
+func safeBuild(key ModelKey, sem chan struct{}, noModal bool) (m *Model, err error) {
 	sem <- struct{}{}
 	defer func() { <-sem }()
 	defer func() {
@@ -448,12 +495,12 @@ func safeBuild(key ModelKey, sem chan struct{}) (m *Model, err error) {
 			m, err = nil, fmt.Errorf("serve: building %s panicked: %v", key.ID(), r)
 		}
 	}()
-	return buildModel(key)
+	return buildModel(key, noModal)
 }
 
 // buildModel runs the full pipeline for one key: generate the synthetic
 // grid, stamp it into a descriptor system, and reduce it with BDSM.
-func buildModel(key ModelKey) (*Model, error) {
+func buildModel(key ModelKey, noModal bool) (*Model, error) {
 	cfg, err := grid.Benchmark(key.Benchmark, key.Scale)
 	if err != nil {
 		return nil, err
@@ -478,9 +525,16 @@ func buildModel(key ModelKey) (*Model, error) {
 	}
 	reduceTime := time.Since(tReduce)
 
+	// Diagonalize each block once, right after the reduction — every
+	// subsequent evaluation of this model rides the modal fast path.
+	var modal *lti.ModalSystem
+	if !noModal {
+		modal = modalize(rom)
+	}
+
 	n, m, p := sys.Dims()
 	order, _, _ := rom.Dims()
-	return &Model{
+	mdl := &Model{
 		ID:         key.ID(),
 		Key:        key,
 		Nodes:      n,
@@ -492,6 +546,11 @@ func buildModel(key ModelKey) (*Model, error) {
 		ReduceTime: reduceTime,
 		Created:    time.Now(),
 		ROM:        rom,
+		Modal:      modal,
 		GridKey:    cfg.Key(),
-	}, nil
+	}
+	if modal != nil {
+		mdl.ModalBlocks, _ = modal.ModalCount()
+	}
+	return mdl, nil
 }

@@ -61,8 +61,13 @@ type Config struct {
 	// built or loaded from disk, its per-column pencil factorizations over
 	// the standard sweep grid are computed while the engine is idle, so the
 	// first default sweep is all cache hits. 0 selects DefaultSweepPoints;
-	// negative disables warming.
+	// negative disables warming. Models fully covered by the modal fast
+	// path skip warming entirely — they never factor on the serving path.
 	WarmPoints int
+	// DisableModal pins every model to the factored (LU + cache) path even
+	// when a modal form is available — the operational escape hatch and the
+	// benchmarking baseline.
+	DisableModal bool
 }
 
 // Server wires the repository, factorization cache, and evaluation engine
@@ -71,6 +76,7 @@ type Server struct {
 	repo  *Repository
 	cache *FactorCache
 	eng   *Engine
+	ev    *Evaluator
 	cfg   Config
 	start time.Time
 }
@@ -83,13 +89,20 @@ func New(cfg Config) *Server {
 	if cfg.MaxEvalEntries <= 0 {
 		cfg.MaxEvalEntries = 1 << 22
 	}
-	return &Server{
+	s := &Server{
 		repo:  NewRepositoryWithStore(cfg.MaxModels, cfg.Store),
 		cache: NewFactorCache(cfg.CacheBytes),
 		eng:   NewEngine(cfg.Workers),
 		cfg:   cfg,
 		start: time.Now(),
 	}
+	s.ev = NewEvaluator(s.eng, s.cache, !cfg.DisableModal)
+	if cfg.DisableModal {
+		// The escape hatch disables the diagonalization code end to end:
+		// no Modalize on builds or legacy disk loads, no modal routing.
+		s.repo.DisableModal()
+	}
+	return s
 }
 
 // Close stops the evaluation pool after draining in-flight tasks.
@@ -116,11 +129,16 @@ func (s *Server) PreloadStore() (int, error) {
 // warmModel pre-factors the per-column block pencils of m over the standard
 // sweep grid through the factorization cache. It runs right after a model is
 // reduced or loaded — the moment the engine is idle — so the first default
-// sweep against the model skips every O(l³) factorization. Best-effort:
-// factorization failures surface on the serving path with proper errors.
+// sweep against the model skips every O(l³) factorization. Models the modal
+// fast path fully covers never factor on the serving path, so there is
+// nothing to warm. Best-effort: factorization failures surface on the
+// serving path with proper errors.
 func (s *Server) warmModel(m *Model) {
 	pts := s.cfg.WarmPoints
 	if pts < 0 {
+		return
+	}
+	if s.ev.modalFor(m) != nil {
 		return
 	}
 	if pts == 0 {
@@ -145,6 +163,7 @@ func (s *Server) CacheStats() CacheStats {
 	rs := s.repo.Stats()
 	st.DiskHits = rs.DiskHits
 	st.DiskMisses = rs.DiskMisses
+	st.ModalEvals, st.FactoredEvals = s.ev.PathStats()
 	return st
 }
 
@@ -320,7 +339,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	mats, err := EvalBatch(s.eng, s.cache, m, req.Omegas)
+	mats, err := s.ev.EvalBatch(m, req.Omegas)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -342,14 +361,19 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 }
 
 type sweepRequest struct {
-	Model  string  `json:"model"`
-	Row    int     `json:"row"`
-	Col    int     `json:"col"`
-	WMin   float64 `json:"wmin"`
-	WMax   float64 `json:"wmax"`
-	Points int     `json:"points"`
-	// Format selects "json" (default, one array) or "ndjson" (streamed,
-	// one SweepPoint object per line).
+	Model string `json:"model"`
+	Row   int    `json:"row"`
+	Col   int    `json:"col"`
+	// Entries, when non-empty, requests a batched multi-entry sweep: every
+	// listed H[row][col] entry is evaluated from one pass over the grid
+	// (Row/Col are then ignored). All entries share the frequency grid.
+	Entries []Entry `json:"entries,omitempty"`
+	WMin    float64 `json:"wmin"`
+	WMax    float64 `json:"wmax"`
+	Points  int     `json:"points"`
+	// Format selects "json" (default, one array) or "ndjson" (streamed —
+	// one SweepPoint object per line for single-entry sweeps, one
+	// EntrySweep object per line for batched sweeps).
 	Format string `json:"format,omitempty"`
 }
 
@@ -379,9 +403,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("points %d exceeds limit %d", req.Points, s.cfg.MaxSweepPoints))
 		return
 	}
+	if len(req.Entries) > 0 {
+		// Batched multi-entry sweep: budget by total returned values, like
+		// /eval, since entries × points is what sizes the response.
+		if total := len(req.Entries) * req.Points; total > s.cfg.MaxEvalEntries {
+			writeErr(w, badRequest("%d entries × %d points = %d values exceeds limit %d",
+				len(req.Entries), req.Points, total, s.cfg.MaxEvalEntries))
+			return
+		}
+		sweeps, err := s.ev.SweepEntries(m, req.Entries, req.WMin, req.WMax, req.Points)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		switch strings.ToLower(req.Format) {
+		case "", "json":
+			writeJSON(w, map[string]any{"model": m.ID, "entries": sweeps})
+		case "ndjson":
+			streamNDJSON(w, len(sweeps), func(enc *json.Encoder, i int) error { return enc.Encode(sweeps[i]) })
+		default:
+			writeErr(w, badRequest("unknown format %q (want json or ndjson)", req.Format))
+		}
+		return
+	}
 	// Sweep distinguishes validation errors (400) from evaluation
 	// failures, which surface as 500.
-	pts, err := Sweep(s.eng, s.cache, m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
+	pts, err := s.ev.Sweep(m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -525,7 +572,7 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("step count %g exceeds limit %d", req.T/req.Dt, s.cfg.MaxSweepPoints))
 		return
 	}
-	res, err := Transient(s.eng, m, sim.TransientOptions{
+	res, err := s.ev.Transient(m, sim.TransientOptions{
 		Method: method, Dt: req.Dt, T: req.T, Input: input,
 	})
 	if err != nil {

@@ -188,6 +188,59 @@ func SimulateDense(d *lti.DenseSystem, opts TransientOptions) (*Result, error) {
 	return res, nil
 }
 
+// implicitBlockState is the per-block fixed-step implicit integrator state
+// shared by SimulateBlockDiag and (for non-modal fallback blocks)
+// SimulateModal: one LU of (C − βhG) per run, one O(l²) solve per step.
+type implicitBlockState struct {
+	lu      *dense.LU[float64]
+	rhsMat  *dense.Mat[float64]
+	x, rhs  []float64
+	b       []float64 // input vector
+	l       *dense.Mat[float64]
+	input   int
+	h, beta float64
+}
+
+func newImplicitBlockState(blk *lti.Block, h, beta float64) (*implicitBlockState, error) {
+	lhs := blk.C.Clone().Add(blk.G.Clone().Scale(-beta * h))
+	lu, err := dense.FactorLU(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("sim: transient pencil singular: %w", err)
+	}
+	lsz := blk.Order()
+	return &implicitBlockState{
+		lu:     lu,
+		rhsMat: blk.C.Clone().Add(blk.G.Clone().Scale((1 - beta) * h)),
+		x:      make([]float64, lsz),
+		rhs:    make([]float64, lsz),
+		b:      blk.B,
+		l:      blk.L,
+		input:  blk.Input,
+		h:      h,
+		beta:   beta,
+	}, nil
+}
+
+// step advances one implicit step with endpoint inputs u0, u1.
+func (st *implicitBlockState) step(u0, u1 float64) {
+	for i := range st.rhs {
+		st.rhs[i] = sparse.Dot(st.rhsMat.Row(i), st.x)
+	}
+	c := st.h * (st.beta*u1 + (1-st.beta)*u0)
+	for i := range st.rhs {
+		st.rhs[i] += c * st.b[i]
+	}
+	// Factored solve never fails after successful factorization.
+	_ = st.lu.Solve(st.x, st.rhs)
+}
+
+// addOutput accumulates y += L·x.
+func (st *implicitBlockState) addOutput(y []float64) {
+	for r := range y {
+		y[r] += sparse.Dot(st.l.Row(r), st.x)
+	}
+}
+
 // SimulateBlockDiag integrates a BDSM block-diagonal ROM: each l×l block is
 // factored once and solved independently per step, at O(m·l²) per step
 // versus O(m²l²) for the dense ROM. With Workers > 1 the blocks are sharded
@@ -199,32 +252,13 @@ func SimulateBlockDiag(bd *lti.BlockDiagSystem, opts TransientOptions) (*Result,
 	_, m, p := bd.Dims()
 	h, beta := opts.Dt, opts.beta()
 
-	type blockState struct {
-		lu     *dense.LU[float64]
-		rhsMat *dense.Mat[float64]
-		x, rhs []float64
-		b      []float64 // input vector
-		l      *dense.Mat[float64]
-		input  int
-	}
-	states := make([]*blockState, len(bd.Blocks))
+	states := make([]*implicitBlockState, len(bd.Blocks))
 	for i := range bd.Blocks {
-		blk := &bd.Blocks[i]
-		lsz := blk.Order()
-		lhs := blk.C.Clone().Add(blk.G.Clone().Scale(-beta * h))
-		lu, err := dense.FactorLU(lhs)
+		st, err := newImplicitBlockState(&bd.Blocks[i], h, beta)
 		if err != nil {
-			return nil, fmt.Errorf("sim: block %d transient pencil singular: %w", i, err)
+			return nil, fmt.Errorf("sim: block %d: %w", i, err)
 		}
-		states[i] = &blockState{
-			lu:     lu,
-			rhsMat: blk.C.Clone().Add(blk.G.Clone().Scale((1 - beta) * h)),
-			x:      make([]float64, lsz),
-			rhs:    make([]float64, lsz),
-			b:      blk.B,
-			l:      blk.L,
-			input:  blk.Input,
-		}
+		states[i] = st
 	}
 
 	workers := opts.Workers
@@ -239,22 +273,12 @@ func SimulateBlockDiag(bd *lti.BlockDiagSystem, opts TransientOptions) (*Result,
 	output := func() []float64 {
 		y := make([]float64, p)
 		for _, st := range states {
-			for r := 0; r < p; r++ {
-				y[r] += sparse.Dot(st.l.Row(r), st.x)
-			}
+			st.addOutput(y)
 		}
 		return y
 	}
-	stepBlock := func(st *blockState) {
-		for i := range st.rhs {
-			st.rhs[i] = sparse.Dot(st.rhsMat.Row(i), st.x)
-		}
-		c := h * (beta*uNext[st.input] + (1-beta)*uNow[st.input])
-		for i := range st.rhs {
-			st.rhs[i] += c * st.b[i]
-		}
-		// Factored solve never fails after successful factorization.
-		_ = st.lu.Solve(st.x, st.rhs)
+	stepBlock := func(st *implicitBlockState) {
+		st.step(uNow[st.input], uNext[st.input])
 	}
 
 	opts.Input(0, uNow)
@@ -280,7 +304,7 @@ func SimulateBlockDiag(bd *lti.BlockDiagSystem, opts TransientOptions) (*Result,
 					break
 				}
 				wg.Add(1)
-				go func(sts []*blockState) {
+				go func(sts []*implicitBlockState) {
 					defer wg.Done()
 					for _, st := range sts {
 						stepBlock(st)

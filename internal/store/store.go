@@ -53,7 +53,10 @@ import (
 
 // FormatVersion is the store file format version this package reads and
 // writes. Files with any other version are quarantined, never half-decoded.
-const FormatVersion = 1
+// Version 2 switched the ROM payload to the lti format that embeds the
+// modal (diagonalize-once) form; version-1 files are quarantined and their
+// models rebuilt on first request.
+const FormatVersion = 2
 
 // magic opens every store file; it doubles as a human-greppable signature.
 const magic = "PGROMST1"
@@ -86,6 +89,10 @@ type Meta struct {
 	Outputs int `json:"outputs"`
 	Order   int `json:"order"`
 	Blocks  int `json:"blocks"`
+
+	// ModalBlocks counts the blocks of the stored modal form that carry a
+	// usable pole–residue decomposition (0 when no modal form is stored).
+	ModalBlocks int `json:"modal_blocks,omitempty"`
 
 	// BuildNS and ReduceNS record what the original build cost — the time a
 	// warm restart saves.
@@ -147,14 +154,20 @@ func (s *Store) path(id, gridKey string) string {
 	return filepath.Join(s.dir, addr(id, gridKey))
 }
 
-// encode assembles the framed file image for one ROM.
-func encode(meta Meta, rom *lti.BlockDiagSystem) ([]byte, error) {
+// encode assembles the framed file image for one ROM, embedding the modal
+// form when one is given.
+func encode(meta Meta, rom *lti.BlockDiagSystem, modal *lti.ModalSystem) ([]byte, error) {
 	metaJSON, err := json.Marshal(meta)
 	if err != nil {
 		return nil, fmt.Errorf("store: encoding metadata: %w", err)
 	}
 	var romBuf bytes.Buffer
-	if err := lti.SaveBlockDiag(&romBuf, rom); err != nil {
+	if modal != nil {
+		err = lti.SaveModal(&romBuf, modal)
+	} else {
+		err = lti.SaveBlockDiag(&romBuf, rom)
+	}
+	if err != nil {
 		return nil, err
 	}
 	romBytes := romBuf.Bytes()
@@ -206,13 +219,19 @@ func decodeMeta(data []byte) (Meta, []byte, error) {
 
 // Put persists one ROM at its content address, atomically replacing any
 // previous version. meta.ID and meta.GridKey must be set — they are the
-// address.
-func (s *Store) Put(meta Meta, rom *lti.BlockDiagSystem) error {
+// address. A non-nil modal form (whose BD must be rom) is embedded so a warm
+// restart recovers the factorization-free fast path without recomputing the
+// eigendecompositions.
+func (s *Store) Put(meta Meta, rom *lti.BlockDiagSystem, modal *lti.ModalSystem) error {
 	if meta.ID == "" || meta.GridKey == "" {
 		s.writeErrors.Add(1)
 		return errors.New("store: Put requires meta.ID and meta.GridKey")
 	}
-	data, err := encode(meta, rom)
+	if modal != nil && modal.BD != rom {
+		s.writeErrors.Add(1)
+		return errors.New("store: modal form does not belong to the ROM being stored")
+	}
+	data, err := encode(meta, rom, modal)
 	if err != nil {
 		s.writeErrors.Add(1)
 		return err
@@ -249,27 +268,29 @@ func (s *Store) Put(meta Meta, rom *lti.BlockDiagSystem) error {
 	return nil
 }
 
-// Get loads the ROM stored for (id, gridKey). A missing file returns
+// Get loads the ROM stored for (id, gridKey), together with its modal form
+// when the file embeds one (nil otherwise). A missing file returns
 // ErrNotFound; a file that fails any validation step is quarantined and also
 // reported as (wrapped) ErrNotFound, so callers rebuild either way.
-func (s *Store) Get(id, gridKey string) (*lti.BlockDiagSystem, Meta, error) {
+func (s *Store) Get(id, gridKey string) (*lti.BlockDiagSystem, *lti.ModalSystem, Meta, error) {
 	p := s.path(id, gridKey)
 	data, err := os.ReadFile(p)
 	if errors.Is(err, fs.ErrNotExist) {
 		s.misses.Add(1)
-		return nil, Meta{}, ErrNotFound
+		return nil, nil, Meta{}, ErrNotFound
 	}
 	if err != nil {
 		s.misses.Add(1)
-		return nil, Meta{}, fmt.Errorf("store: reading %s: %w", p, err)
+		return nil, nil, Meta{}, fmt.Errorf("store: reading %s: %w", p, err)
 	}
 	meta, romBytes, err := decodeMeta(data)
 	if err == nil && (meta.ID != id || meta.GridKey != gridKey) {
 		err = fmt.Errorf("store: file addresses %q/%q, requested %q/%q", meta.ID, meta.GridKey, id, gridKey)
 	}
 	var rom *lti.BlockDiagSystem
+	var modal *lti.ModalSystem
 	if err == nil {
-		rom, err = loadROM(romBytes)
+		rom, modal, err = loadROM(romBytes)
 	}
 	if err == nil {
 		if n, m, p2 := rom.Dims(); n != meta.Order || m != meta.Ports || p2 != meta.Outputs || len(rom.Blocks) != meta.Blocks {
@@ -280,21 +301,21 @@ func (s *Store) Get(id, gridKey string) (*lti.BlockDiagSystem, Meta, error) {
 	if err != nil {
 		s.quarantine(p, data)
 		s.misses.Add(1)
-		return nil, Meta{}, fmt.Errorf("%w (quarantined %s: %v)", ErrNotFound, filepath.Base(p), err)
+		return nil, nil, Meta{}, fmt.Errorf("%w (quarantined %s: %v)", ErrNotFound, filepath.Base(p), err)
 	}
 	s.hits.Add(1)
-	return rom, meta, nil
+	return rom, modal, meta, nil
 }
 
 // loadROM decodes the payload, converting any panic in the decode path into
 // an error: a corrupt file must never take the server down.
-func loadROM(romBytes []byte) (rom *lti.BlockDiagSystem, err error) {
+func loadROM(romBytes []byte) (rom *lti.BlockDiagSystem, modal *lti.ModalSystem, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			rom, err = nil, fmt.Errorf("store: ROM decode panicked: %v", r)
+			rom, modal, err = nil, nil, fmt.Errorf("store: ROM decode panicked: %v", r)
 		}
 	}()
-	return lti.LoadBlockDiag(bytes.NewReader(romBytes))
+	return lti.LoadROM(bytes.NewReader(romBytes))
 }
 
 // quarantine moves a corrupt file aside so it is never re-read (and remains

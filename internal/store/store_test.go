@@ -57,7 +57,7 @@ func openTestStore(t *testing.T) *Store {
 
 func mustPut(t *testing.T, s *Store, meta Meta) {
 	t.Helper()
-	if err := s.Put(meta, testROM()); err != nil {
+	if err := s.Put(meta, testROM(), nil); err != nil {
 		t.Fatalf("Put(%s): %v", meta.ID, err)
 	}
 }
@@ -66,22 +66,25 @@ func TestPutGetRoundTrip(t *testing.T) {
 	s := openTestStore(t)
 	meta := testMeta("m1", "g1")
 
-	if _, _, err := s.Get("m1", "g1"); !errors.Is(err, ErrNotFound) {
+	if _, _, _, err := s.Get("m1", "g1"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get before Put: err = %v, want ErrNotFound", err)
 	}
 	mustPut(t, s, meta)
-	rom, got, err := s.Get("m1", "g1")
+	rom, modal, got, err := s.Get("m1", "g1")
 	if err != nil {
 		t.Fatalf("Get after Put: %v", err)
 	}
 	if !reflect.DeepEqual(rom, testROM()) {
 		t.Fatal("loaded ROM differs from stored ROM")
 	}
+	if modal != nil {
+		t.Fatal("Put without a modal form loaded one")
+	}
 	if !reflect.DeepEqual(got, meta) {
 		t.Fatalf("loaded meta = %+v, want %+v", got, meta)
 	}
 	// Different grid key = different address, even for the same model id.
-	if _, _, err := s.Get("m1", "g2"); !errors.Is(err, ErrNotFound) {
+	if _, _, _, err := s.Get("m1", "g2"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get with other grid key: err = %v, want ErrNotFound", err)
 	}
 	st := s.Stats()
@@ -96,7 +99,7 @@ func TestPutOverwritesAtomically(t *testing.T) {
 	mustPut(t, s, meta)
 	meta.Nodes = 999
 	mustPut(t, s, meta)
-	_, got, err := s.Get("m1", "g1")
+	_, _, got, err := s.Get("m1", "g1")
 	if err != nil {
 		t.Fatalf("Get: %v", err)
 	}
@@ -155,7 +158,7 @@ func TestCorruptFileQuarantined(t *testing.T) {
 			if err := os.WriteFile(p, tc.mutate(data), 0o644); err != nil {
 				t.Fatal(err)
 			}
-			_, _, err = s.Get("m1", "g1")
+			_, _, _, err = s.Get("m1", "g1")
 			if !errors.Is(err, ErrNotFound) {
 				t.Fatalf("Get on corrupt file: err = %v, want wrapped ErrNotFound", err)
 			}
@@ -171,7 +174,7 @@ func TestCorruptFileQuarantined(t *testing.T) {
 			}
 			// The store stays usable: a fresh Put at the same address works.
 			mustPut(t, s, testMeta("m1", "g1"))
-			if _, _, err := s.Get("m1", "g1"); err != nil {
+			if _, _, _, err := s.Get("m1", "g1"); err != nil {
 				t.Fatalf("Get after re-Put: %v", err)
 			}
 		})
@@ -183,7 +186,7 @@ func TestMetaROMDimensionMismatchQuarantined(t *testing.T) {
 	meta := testMeta("m1", "g1")
 	meta.Order = 17 // lies about the ROM inside
 	mustPut(t, s, meta)
-	if _, _, err := s.Get("m1", "g1"); !errors.Is(err, ErrNotFound) {
+	if _, _, _, err := s.Get("m1", "g1"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get with lying metadata: err = %v, want ErrNotFound", err)
 	}
 	if st := s.Stats(); st.Quarantined != 1 {
@@ -202,11 +205,11 @@ func TestMovedFileQuarantined(t *testing.T) {
 	if err := os.WriteFile(s.path("m2", "g1"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := s.Get("m2", "g1"); !errors.Is(err, ErrNotFound) {
+	if _, _, _, err := s.Get("m2", "g1"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get of mis-addressed file: err = %v, want ErrNotFound", err)
 	}
 	// The original is untouched.
-	if _, _, err := s.Get("m1", "g1"); err != nil {
+	if _, _, _, err := s.Get("m1", "g1"); err != nil {
 		t.Fatalf("Get of original: %v", err)
 	}
 }
@@ -248,20 +251,63 @@ func TestScan(t *testing.T) {
 
 func TestPutValidation(t *testing.T) {
 	s := openTestStore(t)
-	if err := s.Put(Meta{GridKey: "g"}, testROM()); err == nil {
+	if err := s.Put(Meta{GridKey: "g"}, testROM(), nil); err == nil {
 		t.Fatal("Put without ID succeeded")
 	}
-	if err := s.Put(Meta{ID: "m"}, testROM()); err == nil {
+	if err := s.Put(Meta{ID: "m"}, testROM(), nil); err == nil {
 		t.Fatal("Put without GridKey succeeded")
 	}
 	// An invalid ROM is rejected by the lti layer before touching disk.
 	bad := testROM()
 	bad.Blocks[0].Input = 5
-	if err := s.Put(testMeta("m1", "g1"), bad); err == nil {
+	if err := s.Put(testMeta("m1", "g1"), bad, nil); err == nil {
 		t.Fatal("Put of invalid ROM succeeded")
 	}
-	if st := s.Stats(); st.WriteErrors != 3 || st.Entries != 0 {
-		t.Fatalf("stats = %+v, want 3 write errors / 0 entries", st)
+	// A modal form for a different ROM must be rejected too.
+	other, err := testROM().Modalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testMeta("m1", "g1"), testROM(), other); err == nil {
+		t.Fatal("Put with a foreign modal form succeeded")
+	}
+	if st := s.Stats(); st.WriteErrors != 4 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want 4 write errors / 0 entries", st)
+	}
+}
+
+// TestPutGetModalRoundTrip: a stored modal form comes back intact, so a warm
+// restart recovers the factorization-free path without re-diagonalizing.
+func TestPutGetModalRoundTrip(t *testing.T) {
+	s := openTestStore(t)
+	rom := testROM()
+	ms, err := rom.Modalize()
+	if err != nil {
+		t.Fatalf("Modalize: %v", err)
+	}
+	meta := testMeta("m1", "g1")
+	meta.ModalBlocks, _ = ms.ModalCount()
+	if err := s.Put(meta, rom, ms); err != nil {
+		t.Fatalf("Put with modal: %v", err)
+	}
+	gotROM, gotMS, gotMeta, err := s.Get("m1", "g1")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if gotMS == nil {
+		t.Fatal("stored modal form was not returned")
+	}
+	if !reflect.DeepEqual(gotROM, rom) {
+		t.Fatal("loaded ROM differs")
+	}
+	if !reflect.DeepEqual(gotMS.Blocks, ms.Blocks) {
+		t.Fatal("loaded modal blocks differ")
+	}
+	if gotMS.BD != gotROM {
+		t.Fatal("loaded modal form does not reference the loaded ROM")
+	}
+	if gotMeta.ModalBlocks != meta.ModalBlocks {
+		t.Fatalf("meta.ModalBlocks = %d, want %d", gotMeta.ModalBlocks, meta.ModalBlocks)
 	}
 }
 

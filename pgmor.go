@@ -48,6 +48,13 @@ type BlockDiagROM = lti.BlockDiagSystem
 // ROMBlock is one diagonal block of a BlockDiagROM.
 type ROMBlock = lti.Block
 
+// ModalROM is the diagonalized (pole–residue) fast path of a BlockDiagROM:
+// built once with Modalize, it evaluates transfer entries in O(q) flops with
+// no per-frequency factorization, and simulates transients with exact
+// per-mode exponentials. Blocks whose pencils defeat the diagonalization
+// transparently fall back to LU evaluation.
+type ModalROM = lti.ModalSystem
+
 // BDSMOptions configures ReduceBDSM; see core.Options for field docs.
 type BDSMOptions = core.Options
 
@@ -161,6 +168,25 @@ func ReduceEKS(sys *SparseModel, u0 []float64, opts BaselineOptions) (*EKSROM, e
 // ReduceSVDMOR runs the SVDMOR baseline with port-compression ratio alpha.
 func ReduceSVDMOR(sys *SparseModel, alpha float64, opts BaselineOptions) (*SVDMORROM, error) {
 	return baseline.SVDMOR(sys, alpha, opts)
+}
+
+// Modalize diagonalizes each ROM block once, returning the evaluation fast
+// path; see ModalROM.
+func Modalize(rom *BlockDiagROM) (*ModalROM, error) { return rom.Modalize() }
+
+// SaveModalROM serializes a ROM together with its modal form; LoadModalROM
+// (or the serving layer's store) recovers both without re-diagonalizing.
+func SaveModalROM(w io.Writer, ms *ModalROM) error { return lti.SaveModal(w, ms) }
+
+// LoadModalROM deserializes a stream written by SaveROM or SaveModalROM; the
+// modal form is nil when the stream carries none.
+func LoadModalROM(r io.Reader) (*BlockDiagROM, *ModalROM, error) { return lti.LoadROM(r) }
+
+// SimulateModalROM runs a fixed-step transient on a modal ROM: modal blocks
+// advance by exact per-mode exponentials (no implicit solves), fallback
+// blocks by the configured implicit rule.
+func SimulateModalROM(ms *ModalROM, opts TransientOptions) (*TransientResult, error) {
+	return sim.SimulateModal(ms, opts)
 }
 
 // SaveROM serializes a block-diagonal ROM for later reuse.
