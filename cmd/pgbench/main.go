@@ -7,6 +7,8 @@
 //	pgbench -exp fig5 -points 61     Fig. 5 accuracy sweep (CSV)
 //	pgbench -exp perf                evaluation-path micro-benchmarks
 //	                                 (writes machine-readable BENCH_modal.json)
+//	pgbench -exp interp              Δ-scale interpolation vs direct reduction
+//	                                 (writes machine-readable BENCH_interp.json)
 //	pgbench -exp all                 everything
 //
 // At -scale 1 the instances match the paper's node/port counts (ckt5 is a
@@ -25,13 +27,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|all")
 	scale := flag.Float64("scale", 0.25, "benchmark scale factor (0,1]; 1 = paper-size grids")
 	points := flag.Int("points", 61, "frequency samples for fig5")
 	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
 	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
 	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
-	benchJSON := flag.String("benchjson", "", "output path for the perf experiment's machine-readable record (default BENCH_modal.json when -exp perf; unset otherwise so 'pgbench -exp all' has no file side effects)")
+	benchJSON := flag.String("benchjson", "", "output path for the perf/interp experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp; unset otherwise so 'pgbench -exp all' has no file side effects)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -121,6 +123,27 @@ func main() {
 			return nil
 		})
 	}
+	if want("interp") {
+		any = true
+		jsonPath := *benchJSON
+		if jsonPath == "" && *exp == "interp" {
+			jsonPath = "BENCH_interp.json"
+		}
+		run("Interp: Δ-scale serving", func() error {
+			res, err := bench.Interp(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if jsonPath != "" {
+				if err := res.WriteJSON(jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", jsonPath)
+			}
+			return nil
+		})
+	}
 	if want("ablation") {
 		any = true
 		run("Ablation: orthonormalization cost", func() error {
@@ -133,7 +156,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|all)\n", *exp)
 		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
 		os.Exit(2)
 	}

@@ -7,6 +7,12 @@
 // store and read back on the next start: a warm restart registers its models
 // from disk in milliseconds instead of re-reducing them.
 //
+// With -interp (on by default), the stored models double as a parametric ROM
+// library: POST /interp — or benchmark+scale on /eval and /sweep — serves an
+// unstored Scale by interpolating the modal forms of the two stored anchors
+// bracketing it, falling back to a real reduction when the self-checked
+// error exceeds -interp-tol.
+//
 //	pgserve -addr :8080 -store-dir /var/lib/pgserve -preload ckt1@0.25,ckt2@0.1
 //
 //	curl -X POST localhost:8080/reduce -d '{"benchmark":"ckt1","scale":0.25}'
@@ -39,9 +45,12 @@ func main() {
 	storeDir := flag.String("store-dir", "", "persistent ROM store directory (empty = in-memory only; reductions are written through and warm restarts skip reducing)")
 	preload := flag.String("preload", "", "comma-separated models to reduce at startup, each name@scale (e.g. ckt1@0.25)")
 	noModal := flag.Bool("no-modal", false, "disable the modal fast path; every evaluation goes through the factorization cache")
+	interp := flag.Bool("interp", true, "serve unstored Scales by interpolating between stored modal ROM anchors (POST /interp, benchmark+scale on /eval and /sweep); disabled = always reduce")
+	interpTol := flag.Float64("interp-tol", 0, fmt.Sprintf("Δ-scale error budget: leave-one-out check error above which interpolation falls back to a real reduction (0 = default %g)", serve.DefaultInterpTol))
 	flag.Parse()
 
-	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels, DisableModal: *noModal}
+	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels,
+		DisableModal: *noModal, DisableInterp: !*interp, InterpTol: *interpTol}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {

@@ -68,7 +68,7 @@ func Benchmark(name string, scale float64) (Config, error) {
 	if cfg.Pads > cfg.NX*cfg.NY {
 		cfg.Pads = cfg.NX * cfg.NY
 	}
-	applyElectricalDefaults(&cfg)
+	applyElectricalDefaults(&cfg, scale)
 	return cfg, nil
 }
 
@@ -77,12 +77,22 @@ func Benchmark(name string, scale float64) (Config, error) {
 // L–C resonance near 10⁹–10¹⁰ rad/s and distributed RC rolloff above
 // 10¹² rad/s, giving the frequency sweep of Fig. 5 interesting structure
 // across its 10⁵–10¹⁵ rad/s band.
-func applyElectricalDefaults(cfg *Config) {
-	cfg.SheetR = 0.05
+//
+// The per-element values depend continuously on the geometric scale: a
+// scaled instance models the same die sampled at a coarser pitch, so each
+// segment is 1/scale times longer (SheetR ∝ 1/scale) and each node lumps
+// 1/scale² times the area (NodeC ∝ 1/scale²). At scale 1 the values are
+// exactly the paper-calibrated defaults. This makes H(·; scale) a continuous
+// family between the integer grid-size steps — the property the parametric
+// Δ-scale interpolation in internal/param relies on. Package parasitics
+// (pad R/L, via R) belong to the physical package, not the modeling pitch,
+// and stay fixed.
+func applyElectricalDefaults(cfg *Config, scale float64) {
+	cfg.SheetR = 0.05 / scale
 	cfg.LayerRScale = 2.0
 	cfg.ViaR = 0.5
 	cfg.ViaPitch = 4
-	cfg.NodeC = 50e-15
+	cfg.NodeC = 50e-15 / (scale * scale)
 	cfg.PadR = 0.1
 	cfg.PadL = 0.5e-9
 	cfg.Variation = 0.2

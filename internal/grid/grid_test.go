@@ -10,7 +10,7 @@ import (
 
 func smallConfig() Config {
 	cfg := Config{Name: "test", NX: 6, NY: 5, Layers: 2, Ports: 4, Pads: 2}
-	applyElectricalDefaults(&cfg)
+	applyElectricalDefaults(&cfg, 1)
 	return cfg
 }
 

@@ -1,6 +1,9 @@
 package grid
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestNumNodesMatchesBuild(t *testing.T) {
 	for _, rc := range []bool{false, true} {
@@ -13,5 +16,43 @@ func TestNumNodesMatchesBuild(t *testing.T) {
 		if m.N != cfg.NumNodes() {
 			t.Fatalf("rcOnly=%v: NumNodes=%d built N=%d", rc, cfg.NumNodes(), m.N)
 		}
+	}
+}
+
+// TestBenchmarkElectricalScaling pins the continuous electrical family: a
+// scaled instance models the same die at coarser pitch, so per-segment R
+// grows like 1/scale and per-node C like 1/scale², continuously in scale —
+// with the paper-calibrated values exactly at scale 1. This continuity is
+// what makes Δ-scale ROM interpolation (internal/param) well-posed between
+// integer grid-size steps.
+func TestBenchmarkElectricalScaling(t *testing.T) {
+	at := func(s float64) Config {
+		cfg, err := Benchmark(Ckt1, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	full := at(1)
+	if full.SheetR != 0.05 || full.NodeC != 50e-15 {
+		t.Fatalf("scale 1 must keep paper values, got R=%g C=%g", full.SheetR, full.NodeC)
+	}
+	half := at(0.5)
+	if math.Abs(half.SheetR-0.1) > 1e-15 || math.Abs(half.NodeC-200e-15) > 1e-27 {
+		t.Fatalf("scale 0.5: R=%g C=%g, want 0.1, 2e-13", half.SheetR, half.NodeC)
+	}
+	// Continuity: two scales inside one integer plateau share geometry but
+	// differ (smoothly) in electricals.
+	a, b := at(0.236), at(0.246)
+	if a.NX != b.NX || a.Ports != b.Ports {
+		t.Fatalf("scales 0.236/0.246 left the geometric plateau: %+v vs %+v", a, b)
+	}
+	if !(a.SheetR > b.SheetR) || !(a.NodeC > b.NodeC) {
+		t.Fatalf("electricals not strictly decreasing in scale: R %g→%g, C %g→%g",
+			a.SheetR, b.SheetR, a.NodeC, b.NodeC)
+	}
+	// Package parasitics belong to the package, not the pitch.
+	if a.PadR != full.PadR || a.PadL != full.PadL || a.ViaR != full.ViaR {
+		t.Fatal("package parasitics must not scale")
 	}
 }

@@ -1,0 +1,272 @@
+package param
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dense"
+	"repro/internal/lti"
+)
+
+// realTol classifies an interpolated pole as real (relative imaginary part)
+// and bounds how far a complex pole may sit from its conjugate partner.
+// Interpolated data inherits rounding from two independent
+// eigendecompositions, so this is looser than machine epsilon but far tighter
+// than any genuine pole spacing.
+const realTol = 1e-7
+
+// realizeCheckTol bounds the relative disagreement between the realized
+// block-diagonal system and its modal form at probe frequencies. The two are
+// algebraically identical, so anything beyond rounding noise means the
+// conjugate pairing went wrong.
+const realizeCheckTol = 1e-8
+
+// Realize builds a real block-diagonal state-space realization of
+// fully-modal blocks and returns it wrapped as an lti.ModalSystem whose
+// modal data is the canonicalized (exactly conjugate-closed) form of the
+// input — so the modal fast path and the factored fallback path of the
+// result agree to machine precision, and everything downstream (factor
+// cache, transient integrators, persistence) treats the interpolant as an
+// ordinary ROM.
+//
+// Per block: each real pole λ with residue row r becomes one state
+// (c=1, g=λ, b=1, L-column=r); each conjugate pair a±ib with residue r
+// becomes the rotation block g=[[a,b],[-b,a]] with L-columns 2Re r, 2Im r;
+// a nonzero direct term becomes one algebraic state (c=0, g=−1, b=1,
+// L-column=D). Poles that are neither real within tolerance nor matched by
+// a conjugate partner are an error — the caller falls back to reduction.
+func Realize(blocks []lti.ModalBlock, m, p int) (*lti.ModalSystem, error) {
+	bd := &lti.BlockDiagSystem{M: m, P: p, Blocks: make([]lti.Block, len(blocks))}
+	canon := make([]lti.ModalBlock, len(blocks))
+	for i := range blocks {
+		if !blocks[i].Modal {
+			return nil, fmt.Errorf("param: block %d has no modal form to realize", i)
+		}
+		blk, cb, err := realizeBlock(&blocks[i], p)
+		if err != nil {
+			return nil, fmt.Errorf("param: block %d: %w", i, err)
+		}
+		bd.Blocks[i], canon[i] = blk, cb
+	}
+	ms := &lti.ModalSystem{BD: bd, Blocks: canon}
+	if err := ms.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkRealization(ms); err != nil {
+		return nil, err
+	}
+	return ms, nil
+}
+
+// poleGroup is the canonical conjugate structure of one block's pole set.
+type poleGroup struct {
+	lam complex128
+	r   []complex128 // residue row of lam, length p
+	// pair marks a conjugate pair (lam has Im > 0; the partner is implied).
+	pair bool
+}
+
+// groupPoles canonicalizes a pole set: real poles snap onto the real axis,
+// complex poles pair with their conjugates (averaging the two sides so the
+// pair is exactly conjugate). The input residue matrix is read row-by-row.
+func groupPoles(mb *lti.ModalBlock) ([]poleGroup, error) {
+	q := len(mb.Poles)
+	used := make([]bool, q)
+	groups := make([]poleGroup, 0, q)
+	for i := 0; i < q; i++ {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		lam := mb.Poles[i]
+		r := append([]complex128(nil), mb.R.Row(i)...)
+		if math.Abs(imag(lam)) <= realTol*(1+cmplx.Abs(lam)) {
+			lam = complex(real(lam), 0)
+			for c := range r {
+				r[c] = complex(real(r[c]), 0)
+			}
+			groups = append(groups, poleGroup{lam: lam, r: r})
+			continue
+		}
+		// Complex: find the conjugate partner among the unused poles.
+		partner := -1
+		best := math.Inf(1)
+		for j := i + 1; j < q; j++ {
+			if used[j] {
+				continue
+			}
+			if d := cmplx.Abs(mb.Poles[j] - cmplx.Conj(lam)); d < best {
+				partner, best = j, d
+			}
+		}
+		if partner < 0 || best > realTol*(1+cmplx.Abs(lam)) {
+			return nil, fmt.Errorf("pole %v has no conjugate partner (closest off by %g)", lam, best)
+		}
+		used[partner] = true
+		lam = (lam + cmplx.Conj(mb.Poles[partner])) / 2
+		rp := mb.R.Row(partner)
+		for c := range r {
+			r[c] = (r[c] + cmplx.Conj(rp[c])) / 2
+		}
+		if imag(lam) < 0 {
+			// Canonical pole carries Im > 0; the residue flips with it.
+			lam = cmplx.Conj(lam)
+			for c := range r {
+				r[c] = cmplx.Conj(r[c])
+			}
+		}
+		groups = append(groups, poleGroup{lam: lam, r: r, pair: true})
+	}
+	return groups, nil
+}
+
+// realizeBlock builds one real state-space block plus its canonical modal
+// form from one modal block's pole–residue data.
+func realizeBlock(mb *lti.ModalBlock, p int) (lti.Block, lti.ModalBlock, error) {
+	groups, err := groupPoles(mb)
+	if err != nil {
+		return lti.Block{}, lti.ModalBlock{}, err
+	}
+	var d []complex128
+	hasD := false
+	if mb.D != nil {
+		d = make([]complex128, p)
+		for c, v := range mb.D {
+			// A real system's direct term is real up to rounding; a
+			// significant imaginary part means the modal data is not
+			// conjugate-consistent and must not be silently truncated.
+			if math.Abs(imag(v)) > realTol*(1+cmplx.Abs(v)) {
+				return lti.Block{}, lti.ModalBlock{}, fmt.Errorf("direct term entry %d = %v is not real", c, v)
+			}
+			d[c] = complex(real(v), 0)
+			if real(v) != 0 {
+				hasD = true
+			}
+		}
+		if !hasD {
+			d = nil
+		}
+	}
+	order := 0
+	for _, g := range groups {
+		if g.pair {
+			order += 2
+		} else {
+			order++
+		}
+	}
+	if hasD {
+		order++
+	}
+
+	c := dense.NewMat[float64](order, order)
+	g := dense.NewMat[float64](order, order)
+	b := make([]float64, order)
+	l := dense.NewMat[float64](p, order)
+
+	// Canonical modal data rebuilt alongside the realization: every value the
+	// state-space carries is exactly the value the modal form reports.
+	qq := 0
+	for _, grp := range groups {
+		if grp.pair {
+			qq += 2
+		} else {
+			qq++
+		}
+	}
+	poles := make([]complex128, 0, qq)
+	r := dense.NewMat[complex128](qq, p)
+
+	col := 0
+	for _, grp := range groups {
+		if !grp.pair {
+			c.Set(col, col, 1)
+			g.Set(col, col, real(grp.lam))
+			b[col] = 1
+			for row := 0; row < p; row++ {
+				l.Set(row, col, real(grp.r[row]))
+			}
+			copy(r.Row(len(poles)), grp.r)
+			poles = append(poles, grp.lam)
+			col++
+			continue
+		}
+		a, bb := real(grp.lam), imag(grp.lam)
+		c.Set(col, col, 1)
+		c.Set(col+1, col+1, 1)
+		g.Set(col, col, a)
+		g.Set(col, col+1, bb)
+		g.Set(col+1, col, -bb)
+		g.Set(col+1, col+1, a)
+		b[col] = 1
+		for row := 0; row < p; row++ {
+			l.Set(row, col, 2*real(grp.r[row]))
+			l.Set(row, col+1, 2*imag(grp.r[row]))
+		}
+		copy(r.Row(len(poles)), grp.r)
+		poles = append(poles, grp.lam)
+		conjRow := r.Row(len(poles))
+		for cc := range conjRow {
+			conjRow[cc] = cmplx.Conj(grp.r[cc])
+		}
+		poles = append(poles, cmplx.Conj(grp.lam))
+		col += 2
+	}
+	if hasD {
+		// Algebraic state: (s·0 − (−1))·x = 1 ⇒ x ≡ 1, contributing the
+		// constant column D at every frequency.
+		g.Set(col, col, -1)
+		b[col] = 1
+		for row := 0; row < p; row++ {
+			l.Set(row, col, real(d[row]))
+		}
+	}
+	blk := lti.Block{C: c, G: g, B: b, L: l, Input: mb.Input}
+	cb := lti.ModalBlock{Input: mb.Input, Modal: true, Sym: mb.Sym, Poles: poles, R: r, D: d}
+	return blk, cb, nil
+}
+
+// checkRealization compares the modal and state-space faces of the realized
+// system at probe frequencies spread over the pole magnitudes. They are two
+// encodings of the same rational function, so any disagreement beyond
+// rounding means the realization is wrong and must not be served.
+func checkRealization(ms *lti.ModalSystem) error {
+	lo, hi := math.Inf(1), 0.0
+	for i := range ms.Blocks {
+		for _, lam := range ms.Blocks[i].Poles {
+			if a := cmplx.Abs(lam); a > 0 {
+				lo, hi = math.Min(lo, a), math.Max(hi, a)
+			}
+		}
+	}
+	if hi == 0 {
+		lo, hi = 1e5, 1e15
+	}
+	for _, w := range []float64{lo / 2, math.Sqrt(lo * hi), hi * 2} {
+		s := complex(0, w)
+		hm, err := ms.Eval(s)
+		if err != nil {
+			return err
+		}
+		hb, err := ms.BD.Eval(s)
+		if err != nil {
+			return err
+		}
+		var num, den float64
+		for i := range hm.Data {
+			num += sqAbs(hm.Data[i] - hb.Data[i])
+			den += sqAbs(hb.Data[i])
+		}
+		if den == 0 {
+			den = 1
+		}
+		if math.Sqrt(num) > realizeCheckTol*math.Sqrt(den)+1e-300 {
+			return fmt.Errorf("param: realization disagrees with modal form at ω=%g (rel err %g)",
+				w, math.Sqrt(num/den))
+		}
+	}
+	return nil
+}
+
+func sqAbs(z complex128) float64 { return real(z)*real(z) + imag(z)*imag(z) }

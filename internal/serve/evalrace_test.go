@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEvaluatorConcurrentSweepStress hammers one model from many goroutines
+// through every evaluation entry point, on both the modal and the factored
+// path, with overlapping entry sets. Its job is to let -race catch any
+// unsound sharing of the pooled evalScratch buffers or modal read paths;
+// results are also cross-checked against a serial baseline so a data race
+// that corrupts output without tripping the detector still fails the test.
+func TestEvaluatorConcurrentSweepStress(t *testing.T) {
+	key := ModelKey{Benchmark: "ckt1", Scale: 0.1}
+	m, err := buildModel(key, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []Entry{{0, 0}, {1, 0}, {0, 1}, {2, 3}, {3, 3}}
+	const points = 20
+	omegas := []float64{1e6, 1e9, 3e11, 1e13}
+
+	for _, useModal := range []bool{true, false} {
+		eng := NewEngine(4)
+		ev := NewEvaluator(eng, NewFactorCache(0), useModal)
+
+		// Serial baselines computed before the stampede.
+		wantSweep, err := ev.SweepEntries(m, entries, DefaultWMin, DefaultWMax, points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantEval, err := ev.EvalBatch(m, omegas)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const goroutines = 12
+		const rounds = 6
+		var wg sync.WaitGroup
+		errc := make(chan error, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					sw, err := ev.SweepEntries(m, entries, DefaultWMin, DefaultWMax, points)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range sw {
+						for k := range sw[i].Points {
+							if sw[i].Points[k] != wantSweep[i].Points[k] {
+								t.Errorf("goroutine %d round %d: sweep entry %d point %d diverged", g, r, i, k)
+								return
+							}
+						}
+					}
+					hm, err := ev.EvalBatch(m, omegas)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for k := range hm {
+						for i := range hm[k].Data {
+							if hm[k].Data[i] != wantEval[k].Data[i] {
+								t.Errorf("goroutine %d round %d: eval point %d entry %d diverged", g, r, k, i)
+								return
+							}
+						}
+					}
+					if _, err := ev.Sweep(m, g%m.Outputs, g%m.Ports, 1e6, 1e12, 10); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatalf("useModal=%v: %v", useModal, err)
+		}
+		eng.Close()
+	}
+}

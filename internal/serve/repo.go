@@ -73,14 +73,33 @@ func (k *ModelKey) Validate() error {
 	return nil
 }
 
-// ID returns the stable, URL-safe identifier of the normalized key.
+// idEscaper makes the benchmark field of an ID self-delimiting. The raw
+// encoding "%s-%g-…" was ambiguous: a hostile benchmark name containing '-'
+// and digit runs (e.g. "ckt1-0.25") could collide with a different key's
+// encoding. Escaping '-' (the field separator), '+' (stripped below), and
+// '%' (the escape head) leaves the first bare '-' as an unambiguous field
+// boundary, and the remaining fields are delimited by the literals "-l",
+// "-s0", "-rc", whose letters never occur in %g/%d output — so the encoding
+// is injective over all key values.
+//
+// Store-key compatibility: the standard benchmarks (ckt1..ckt5) contain none
+// of the escaped characters, so their IDs — and therefore their persistent
+// store addresses — are byte-identical to the previous encoding. Only keys
+// with exotic benchmark names (which grid.Benchmark refuses to build anyway)
+// change encoding.
+var idEscaper = strings.NewReplacer("%", "%25", "-", "%2D", "+", "%2B")
+
+// ID returns the stable, URL-safe identifier of the normalized key. Distinct
+// normalized keys always produce distinct IDs.
 func (k ModelKey) ID() string {
 	k.Normalize()
-	id := fmt.Sprintf("%s-%g-l%d-s0%g", k.Benchmark, k.Scale, k.Moments, k.S0)
+	id := fmt.Sprintf("%s-%g-l%d-s0%g", idEscaper.Replace(k.Benchmark), k.Scale, k.Moments, k.S0)
 	if k.RCOnly {
 		id += "-rc"
 	}
-	// %g renders 1e9 as "1e+09"; '+' is not query-string safe.
+	// %g renders 1e9 as "1e+09"; '+' is not query-string safe. After
+	// escaping, every remaining '+' is a %g exponent sign, whose removal
+	// cannot merge two distinct renderings.
 	return strings.ReplaceAll(id, "+", "")
 }
 
@@ -113,6 +132,11 @@ type Model struct {
 	// original reduction cost, Created when it ran).
 	FromStore bool `json:"from_store,omitempty"`
 
+	// Interp describes how this model was interpolated from stored library
+	// anchors instead of reduced; nil for reduced or stored models.
+	// ReduceTime then records the interpolation cost.
+	Interp *InterpInfo `json:"interp,omitempty"`
+
 	// ROM is the block-diagonal reduced model (immutable).
 	ROM *lti.BlockDiagSystem `json:"-"`
 	// Modal is the diagonalize-once fast path of ROM; nil only if
@@ -136,6 +160,9 @@ const (
 	OutcomeDiskHit
 	// OutcomeBuilt: this call paid the full grid build + BDSM reduction.
 	OutcomeBuilt
+	// OutcomeInterp: this call assembled the model by interpolating stored
+	// library anchors — no grid build, no reduction.
+	OutcomeInterp
 )
 
 func (o Outcome) String() string {
@@ -146,6 +173,8 @@ func (o Outcome) String() string {
 		return "disk"
 	case OutcomeBuilt:
 		return "built"
+	case OutcomeInterp:
+		return "interp"
 	}
 	return fmt.Sprintf("outcome(%d)", int(o))
 }
@@ -160,6 +189,14 @@ type RepoStats struct {
 	DiskHits    int64 `json:"disk_hits"`
 	DiskMisses  int64 `json:"disk_misses"`
 	StoreErrors int64 `json:"store_errors"`
+	// InterpModels counts interpolated models currently resident;
+	// InterpServed counts requests served through interpolation (zero
+	// reductions each); InterpFallbacks counts Δ-scale requests that fell
+	// back to a real reduction (no anchors, incompatible structure,
+	// ambiguous matching, or error budget exceeded).
+	InterpModels    int   `json:"interp_models"`
+	InterpServed    int64 `json:"interp_served"`
+	InterpFallbacks int64 `json:"interp_fallbacks"`
 }
 
 // Repository builds and caches reduced models. Each distinct normalized
@@ -188,7 +225,25 @@ type Repository struct {
 	// time.
 	noModal bool
 
+	// library indexes the Scale points known per benchmark family (resident
+	// models plus store-scanned metadata) — the anchor set Δ-scale
+	// interpolation draws from. Keys are normalized ModelKeys with Scale
+	// zeroed. Guarded by mu.
+	library map[ModelKey]map[float64]struct{}
+	// lastLibScan (unix nanos) rate-limits on-demand store rescans.
+	lastLibScan atomic.Int64
+
+	// interp is the bounded LRU of interpolated models (see interp.go);
+	// interpolants are cheap to rebuild, so eviction is harmless. Guarded
+	// by mu.
+	interp     map[ModelKey]*interpEntry
+	interpByID map[string]*interpEntry
+	interpSeq  int64
+	maxInterp  int
+	interpTol  float64
+
 	builds, memHits, diskHits, diskMisses, storeErrors atomic.Int64
+	interpServed, interpFallbacks                      atomic.Int64
 }
 
 type repoEntry struct {
@@ -216,11 +271,16 @@ func NewRepositoryWithStore(maxModels int, st *store.Store) *Repository {
 		maxModels = DefaultMaxModels
 	}
 	return &Repository{
-		entries:   make(map[ModelKey]*repoEntry),
-		byID:      make(map[string]*repoEntry),
-		maxModels: maxModels,
-		buildSem:  make(chan struct{}, maxConcurrentBuilds),
-		store:     st,
+		entries:    make(map[ModelKey]*repoEntry),
+		byID:       make(map[string]*repoEntry),
+		maxModels:  maxModels,
+		buildSem:   make(chan struct{}, maxConcurrentBuilds),
+		store:      st,
+		library:    make(map[ModelKey]map[float64]struct{}),
+		interp:     make(map[ModelKey]*interpEntry),
+		interpByID: make(map[string]*interpEntry),
+		maxInterp:  DefaultMaxInterpModels,
+		interpTol:  DefaultInterpTol,
 	}
 }
 
@@ -297,7 +357,32 @@ func (r *Repository) get(key ModelKey, allowBuild bool) (*Model, Outcome, error)
 		r.mu.Unlock()
 		return nil, outcome, e.err
 	}
+	r.mu.Lock()
+	r.libraryAdd(key)
+	// A real (reduced or stored) model supersedes any interpolant cached
+	// under the same key: keeping both would double-list the ID in Models()
+	// and pin a permanently shadowed LRU slot.
+	if ie, ok := r.interp[key]; ok {
+		delete(r.interp, key)
+		if r.interpByID[key.ID()] == ie {
+			delete(r.interpByID, key.ID())
+		}
+	}
+	r.mu.Unlock()
 	return e.model, outcome, nil
+}
+
+// libraryAdd records key's Scale as a known anchor point of its benchmark
+// family. Caller holds mu.
+func (r *Repository) libraryAdd(key ModelKey) {
+	lk := key
+	lk.Scale = 0
+	set, ok := r.library[lk]
+	if !ok {
+		set = make(map[float64]struct{})
+		r.library[lk] = set
+	}
+	set[key.Scale] = struct{}{}
 }
 
 // loadFromStore attempts a read-through of the persistent store, returning
@@ -409,24 +494,42 @@ func (r *Repository) Preload() (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	// This scan doubles as a library refresh; stamp it so the first Δ-scale
+	// request does not immediately rescan the directory.
+	r.lastLibScan.Store(time.Now().UnixNano())
 	loaded := 0
 	for _, meta := range metas {
-		if len(meta.ModelKey) == 0 {
+		key, ok := keyFromMeta(meta.ModelKey, meta.ID)
+		if !ok {
 			continue
 		}
-		var key ModelKey
-		if json.Unmarshal(meta.ModelKey, &key) != nil || key.Validate() != nil {
-			continue
-		}
-		key.Normalize()
-		if key.ID() != meta.ID {
-			continue // metadata does not describe the key it claims
-		}
+		// Merge the anchor library from this same scan (models that fail to
+		// register below — e.g. repository full — still anchor Δ-scale
+		// interpolation, which loads them read-only on demand).
+		r.libraryAddFromMeta(key, meta.GridKey)
 		if _, _, err := r.get(key, false); err == nil {
 			loaded++
 		}
 	}
 	return loaded, nil
+}
+
+// keyFromMeta recovers and vets the ModelKey a store metadata record claims
+// to describe: it must unmarshal, validate, and normalize back to the ID it
+// is stored under.
+func keyFromMeta(raw json.RawMessage, id string) (ModelKey, bool) {
+	if len(raw) == 0 {
+		return ModelKey{}, false
+	}
+	var key ModelKey
+	if json.Unmarshal(raw, &key) != nil || key.Validate() != nil {
+		return ModelKey{}, false
+	}
+	key.Normalize()
+	if key.ID() != id {
+		return ModelKey{}, false // metadata does not describe the key it claims
+	}
+	return key, true
 }
 
 // Store returns the attached persistent store (nil for memory-only).
@@ -436,22 +539,33 @@ func (r *Repository) Store() *store.Store { return r.store }
 func (r *Repository) Stats() RepoStats {
 	r.mu.Lock()
 	models := len(r.entries)
+	interpModels := len(r.interp)
 	r.mu.Unlock()
 	return RepoStats{
-		Models:      models,
-		Builds:      r.builds.Load(),
-		MemHits:     r.memHits.Load(),
-		DiskHits:    r.diskHits.Load(),
-		DiskMisses:  r.diskMisses.Load(),
-		StoreErrors: r.storeErrors.Load(),
+		Models:          models,
+		Builds:          r.builds.Load(),
+		MemHits:         r.memHits.Load(),
+		DiskHits:        r.diskHits.Load(),
+		DiskMisses:      r.diskMisses.Load(),
+		StoreErrors:     r.storeErrors.Load(),
+		InterpModels:    interpModels,
+		InterpServed:    r.interpServed.Load(),
+		InterpFallbacks: r.interpFallbacks.Load(),
 	}
 }
 
 // Lookup resolves a model by its ID without triggering a build. It blocks if
-// the model is still reducing.
+// the model is still reducing. Interpolated models resolve like reduced ones.
 func (r *Repository) Lookup(id string) (*Model, error) {
 	r.mu.Lock()
 	e, ok := r.byID[id]
+	if !ok {
+		if ie, iok := r.interpByID[id]; iok {
+			r.interpTouch(ie)
+			r.mu.Unlock()
+			return ie.model, nil
+		}
+	}
 	r.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("serve: unknown model %q (POST /reduce first)", id)
@@ -460,16 +574,21 @@ func (r *Repository) Lookup(id string) (*Model, error) {
 	return e.model, e.err
 }
 
-// Models lists all successfully built models, sorted by ID. In-flight builds
-// are skipped rather than waited for.
+// Models lists all successfully built models plus the resident interpolated
+// ones (identifiable by Model.Interp), sorted by ID. In-flight builds are
+// skipped rather than waited for.
 func (r *Repository) Models() []*Model {
 	r.mu.Lock()
 	entries := make([]*repoEntry, 0, len(r.entries))
 	for _, e := range r.entries {
 		entries = append(entries, e)
 	}
+	interp := make([]*Model, 0, len(r.interp))
+	for _, ie := range r.interp {
+		interp = append(interp, ie.model)
+	}
 	r.mu.Unlock()
-	out := make([]*Model, 0, len(entries))
+	out := make([]*Model, 0, len(entries)+len(interp))
 	for _, e := range entries {
 		select {
 		case <-e.ready:
@@ -479,6 +598,7 @@ func (r *Repository) Models() []*Model {
 		default:
 		}
 	}
+	out = append(out, interp...)
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }

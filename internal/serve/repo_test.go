@@ -127,3 +127,52 @@ func TestModelKeyIDCollisions(t *testing.T) {
 		t.Error("ID differs between normalized and raw key")
 	}
 }
+
+// TestModelKeyIDAdversarialNames pins the injectivity of the ID encoding
+// against hostile benchmark names. The previous "%s-%g-…" encoding collided
+// for names containing '+' (stripped away: "a+b" and "ab" shared an ID) and
+// left '-'-laden names free to mimic other keys' field boundaries; the
+// escaped encoding must keep every distinct normalized key on a distinct ID.
+func TestModelKeyIDAdversarialNames(t *testing.T) {
+	// The historical collision: '+' was stripped after formatting.
+	plus := ModelKey{Benchmark: "a+b", Scale: 0.25}
+	flat := ModelKey{Benchmark: "ab", Scale: 0.25}
+	if plus.ID() == flat.ID() {
+		t.Fatalf("%q and %q still collide on %q", plus.Benchmark, flat.Benchmark, plus.ID())
+	}
+
+	benches := []string{
+		"ckt1", "ckt1-0.25", "ckt1-0.25-l6-s01e09", "ckt1-0.25-l6-s01e09-rc",
+		"a", "a-b", "a+b", "ab", "a%b", "a%2Db", "x-1e", "x", "a-0.25-l6",
+		"-", "--", "rc", "-rc", "l6", "s01e09",
+	}
+	scales := []float64{0.25, 1e-7, 2.5}
+	moments := []int{0, 7}
+	seen := make(map[string]ModelKey)
+	for _, b := range benches {
+		for _, s := range scales {
+			for _, l := range moments {
+				for _, rc := range []bool{false, true} {
+					k := ModelKey{Benchmark: b, Scale: s, Moments: l, RCOnly: rc}
+					id := k.ID()
+					norm := k
+					norm.Normalize()
+					if prev, ok := seen[id]; ok && prev != norm {
+						t.Fatalf("distinct keys share ID %q:\n  %+v\n  %+v", id, prev, norm)
+					}
+					seen[id] = norm
+				}
+			}
+		}
+	}
+
+	// Store-key compatibility: the standard benchmarks contain no escaped
+	// characters, so their IDs (and store addresses) are unchanged from the
+	// previous encoding.
+	if id := (ModelKey{Benchmark: "ckt1", Scale: 0.25}).ID(); id != "ckt1-0.25-l6-s01e09" {
+		t.Fatalf("standard ID changed: %q", id)
+	}
+	if id := (ModelKey{Benchmark: "ckt2", Scale: 0.1, RCOnly: true}).ID(); id != "ckt2-0.1-l10-s01e09-rc" {
+		t.Fatalf("standard RC ID changed: %q", id)
+	}
+}

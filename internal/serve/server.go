@@ -68,6 +68,16 @@ type Config struct {
 	// when a modal form is available — the operational escape hatch and the
 	// benchmarking baseline.
 	DisableModal bool
+	// DisableInterp turns off Δ-scale interpolation: /interp is rejected and
+	// benchmark+scale resolution on /eval and /sweep reduces for real.
+	DisableInterp bool
+	// InterpTol is the Δ-scale error budget: the leave-one-out self-check
+	// error above which an interpolation request falls back to a real
+	// reduction. 0 selects DefaultInterpTol.
+	InterpTol float64
+	// MaxInterpModels bounds the resident interpolated-model LRU; 0 selects
+	// DefaultMaxInterpModels.
+	MaxInterpModels int
 }
 
 // Server wires the repository, factorization cache, and evaluation engine
@@ -102,6 +112,12 @@ func New(cfg Config) *Server {
 		// no Modalize on builds or legacy disk loads, no modal routing.
 		s.repo.DisableModal()
 	}
+	if cfg.InterpTol > 0 {
+		s.repo.interpTol = cfg.InterpTol
+	}
+	if cfg.MaxInterpModels > 0 {
+		s.repo.maxInterp = cfg.MaxInterpModels
+	}
 	return s
 }
 
@@ -113,8 +129,9 @@ func (s *Server) Repo() *Repository { return s.repo }
 
 // PreloadStore registers every valid ROM from the persistent store without
 // reducing, then pre-factors the standard sweep grid for each — the full
-// warm-restart path for a starting daemon. Returns the number of models
-// registered.
+// warm-restart path for a starting daemon. The anchor library is merged
+// from the same store scan, so Δ-scale interpolation sees every stored
+// Scale point immediately. Returns the number of models registered.
 func (s *Server) PreloadStore() (int, error) {
 	n, err := s.repo.Preload()
 	if err != nil {
@@ -170,14 +187,20 @@ func (s *Server) CacheStats() CacheStats {
 // Handler returns the HTTP API:
 //
 //	POST /reduce    build (or fetch) a model           → model info JSON
+//	POST /interp    Δ-scale model via interpolation    → model info JSON
 //	POST /eval      batch-evaluate H(jω) at points     → JSON
 //	POST /sweep     AC sweep of one entry              → JSON or NDJSON
 //	POST /transient fixed-step transient run           → JSON or NDJSON
 //	GET  /models    list built models                  → JSON
 //	GET  /healthz   liveness + cache/pool stats        → JSON
+//
+// /eval and /sweep accept benchmark+scale in place of a model id: an
+// unstored Scale is then resolved through the Δ-scale interpolation path
+// (or a real reduction when interpolation is disabled or falls back).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /reduce", s.handleReduce)
+	mux.HandleFunc("POST /interp", s.handleInterp)
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("POST /transient", s.handleTransient)
@@ -293,8 +316,84 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, modelInfo(m, outcome))
 }
 
+// interpRequest asks for a model at an arbitrary Scale, interpolated from
+// the stored anchor library when possible.
+type interpRequest struct {
+	ModelKey
+	// Tol overrides the server's error budget for this request (0 = server
+	// default).
+	Tol float64 `json:"tol,omitempty"`
+}
+
+func (s *Server) handleInterp(w http.ResponseWriter, r *http.Request) {
+	var req interpRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, err)
+		return
+	}
+	if s.cfg.DisableInterp {
+		writeErr(w, badRequest("Δ-scale interpolation is disabled on this server"))
+		return
+	}
+	if req.Tol < 0 {
+		writeErr(w, badRequest("tol must be ≥ 0, got %g", req.Tol))
+		return
+	}
+	m, outcome, err := s.resolveModel("", req.ModelKey, req.Tol)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, modelInfo(m, outcome))
+}
+
+// resolveModel turns a request's model reference — an explicit id, or a
+// benchmark+scale pair — into a servable model. The id wins when both are
+// given; a benchmark+scale at an unstored Scale goes through Δ-scale
+// interpolation (under the given error budget; 0 = server default) unless
+// interpolation is disabled. Models that arrive via a reduction or a disk
+// load are cache-warmed exactly like /reduce.
+func (s *Server) resolveModel(id string, key ModelKey, tol float64) (*Model, Outcome, error) {
+	if id != "" {
+		m, err := s.lookupModel(id)
+		return m, OutcomeMemHit, err
+	}
+	if key.Benchmark == "" {
+		return nil, OutcomeMemHit, badRequest("missing model id (or benchmark+scale)")
+	}
+	if _, err := grid.Benchmark(key.Benchmark, key.Scale); err != nil {
+		return nil, OutcomeMemHit, badRequest("%v", err)
+	}
+	if err := key.Validate(); err != nil {
+		return nil, OutcomeMemHit, badRequest("%v", err)
+	}
+	var (
+		m       *Model
+		outcome Outcome
+		err     error
+	)
+	if s.cfg.DisableInterp {
+		m, outcome, err = s.repo.Get(key)
+	} else {
+		m, outcome, err = s.repo.GetInterpolated(key, tol)
+	}
+	switch {
+	case errors.Is(err, ErrRepositoryFull):
+		return nil, outcome, &httpError{code: http.StatusTooManyRequests, err: err}
+	case err != nil:
+		return nil, outcome, err
+	}
+	if outcome == OutcomeBuilt || outcome == OutcomeDiskHit {
+		s.warmModel(m)
+	}
+	return m, outcome, nil
+}
+
 type evalRequest struct {
-	Model  string    `json:"model"`
+	Model string `json:"model"`
+	// ModelKey resolves the model when Model is empty — including Δ-scale
+	// interpolation at unstored Scales.
+	ModelKey
 	Omegas []float64 `json:"omegas"`
 }
 
@@ -316,7 +415,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	m, err := s.lookupModel(req.Model)
+	m, _, err := s.resolveModel(req.Model, req.ModelKey, 0)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -362,8 +461,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 
 type sweepRequest struct {
 	Model string `json:"model"`
-	Row   int    `json:"row"`
-	Col   int    `json:"col"`
+	// ModelKey resolves the model when Model is empty — including Δ-scale
+	// interpolation at unstored Scales.
+	ModelKey
+	Row int `json:"row"`
+	Col int `json:"col"`
 	// Entries, when non-empty, requests a batched multi-entry sweep: every
 	// listed H[row][col] entry is evaluated from one pass over the grid
 	// (Row/Col are then ignored). All entries share the frequency grid.
@@ -383,7 +485,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	m, err := s.lookupModel(req.Model)
+	m, _, err := s.resolveModel(req.Model, req.ModelKey, 0)
 	if err != nil {
 		writeErr(w, err)
 		return

@@ -308,3 +308,35 @@ func TestRequestValidation(t *testing.T) {
 		t.Errorf("unknown field: status = %d, want 400", resp.StatusCode)
 	}
 }
+
+// Degenerate sweep grids must surface as client errors (400), never 500 —
+// and the legal degenerate case (one point at wmin == wmax) must serve.
+func TestSweepDegenerateGridStatus(t *testing.T) {
+	_, ts := newTestServer(t)
+	info := reduceTestModel(t, ts)
+
+	bad := []map[string]any{
+		{"model": info.ID, "wmin": 1e9, "wmax": 1e5, "points": 10}, // reversed
+		{"model": info.ID, "wmin": 1e5, "wmax": 1e9, "points": 1},  // 1 point, real range
+		{"model": info.ID, "wmin": -1.0, "wmax": 1e9, "points": 10},
+		{"model": info.ID, "wmin": 1e5, "wmax": 1e9, "points": -4},
+	}
+	for _, body := range bad {
+		resp := postJSON(t, ts.URL+"/sweep", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400", body, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	resp := postJSON(t, ts.URL+"/sweep", map[string]any{"model": info.ID, "wmin": 1e9, "wmax": 1e9, "points": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("1-point degenerate sweep: status %d", resp.StatusCode)
+	}
+	out := decode[struct {
+		Points []SweepPoint `json:"points"`
+	}](t, resp)
+	if len(out.Points) != 1 || out.Points[0].Omega != 1e9 {
+		t.Fatalf("points = %+v", out.Points)
+	}
+}

@@ -20,9 +20,25 @@ type ACPoint struct {
 // library. Exposing the grid lets batched evaluators (the serving layer)
 // align sweeps from independent requests on identical frequency points, so
 // cached pencil factorizations are reused across requests.
+// Degenerate inputs have defined behavior: a reversed range (wMin > wMax),
+// a non-positive wMin, or points < 1 is a clean error; wMin == wMax is the
+// constant grid (every point wMin); points == 1 is allowed only for that
+// constant case — a single sample of a non-degenerate log range has no
+// canonical position, so it is rejected rather than guessed (and would
+// otherwise divide by points−1 = 0).
 func LogGrid(wMin, wMax float64, points int) ([]float64, error) {
-	if wMin <= 0 || wMax <= wMin || points < 2 {
+	if wMin <= 0 || wMax < wMin || points < 1 {
 		return nil, fmt.Errorf("sim: bad AC sweep range [%g, %g] × %d", wMin, wMax, points)
+	}
+	if wMin == wMax {
+		grid := make([]float64, points)
+		for k := range grid {
+			grid[k] = wMin
+		}
+		return grid, nil
+	}
+	if points == 1 {
+		return nil, fmt.Errorf("sim: a 1-point sweep needs wmin == wmax, got [%g, %g]", wMin, wMax)
 	}
 	grid := make([]float64, points)
 	l0, l1 := math.Log10(wMin), math.Log10(wMax)

@@ -1,0 +1,70 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLogGridDegenerateInputs pins the behavior of every degenerate input
+// class: no NaNs, no panics — a well-defined grid or a clean error.
+func TestLogGridDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name       string
+		wMin, wMax float64
+		points     int
+		want       []float64
+		wantErr    bool
+	}{
+		{name: "normal", wMin: 1e2, wMax: 1e4, points: 3, want: []float64{1e2, 1e3, 1e4}},
+		{name: "one point degenerate range", wMin: 1e9, wMax: 1e9, points: 1, want: []float64{1e9}},
+		{name: "one point nondegenerate range", wMin: 1e5, wMax: 1e9, points: 1, wantErr: true},
+		{name: "equal endpoints", wMin: 1e7, wMax: 1e7, points: 4, want: []float64{1e7, 1e7, 1e7, 1e7}},
+		{name: "reversed range", wMin: 1e9, wMax: 1e5, points: 10, wantErr: true},
+		{name: "zero points", wMin: 1e5, wMax: 1e9, points: 0, wantErr: true},
+		{name: "negative points", wMin: 1e5, wMax: 1e9, points: -3, wantErr: true},
+		{name: "zero wmin", wMin: 0, wMax: 1e9, points: 10, wantErr: true},
+		{name: "negative wmin", wMin: -1, wMax: 1e9, points: 10, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := LogGrid(tc.wMin, tc.wMax, tc.points)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("LogGrid(%g, %g, %d) = %v, want error", tc.wMin, tc.wMax, tc.points, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("LogGrid(%g, %g, %d): %v", tc.wMin, tc.wMax, tc.points, err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d points, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if math.IsNaN(got[i]) || math.IsInf(got[i], 0) {
+					t.Fatalf("point %d is %g", i, got[i])
+				}
+				if d := math.Abs(got[i] - tc.want[i]); d > 1e-9*tc.want[i] {
+					t.Fatalf("point %d = %g, want %g", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// The grid must stay monotone and hit both endpoints exactly enough for
+// cache-key alignment across requests.
+func TestLogGridEndpointsAndMonotonicity(t *testing.T) {
+	grid, err := LogGrid(1e5, 1e15, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(grid[0]-1e5) > 1e-6 || math.Abs(grid[59]-1e15) > 1e3 {
+		t.Fatalf("endpoints %g, %g", grid[0], grid[59])
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("grid not strictly increasing at %d: %g, %g", i, grid[i-1], grid[i])
+		}
+	}
+}

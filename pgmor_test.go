@@ -155,7 +155,10 @@ func TestPublicAPIPassivityAndImpedanceView(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys := ImpedanceView(built)
-	rom, err := ReduceBDSM(sys, BDSMOptions{Moments: 4})
+	// ckt1's matched moment count (Table II); the scaled instance's poles
+	// sit ∝ scale³ below the paper-size ones, so fewer moments than the
+	// benchmark prescribes no longer clears the 1e-6 sweep bound.
+	rom, err := ReduceBDSM(sys, BDSMOptions{Moments: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
