@@ -9,6 +9,8 @@
 //	                                 (writes machine-readable BENCH_modal.json)
 //	pgbench -exp interp              Δ-scale interpolation vs direct reduction
 //	                                 (writes machine-readable BENCH_interp.json)
+//	pgbench -exp session             streaming-session advances vs /transient
+//	                                 recompute (writes BENCH_session.json)
 //	pgbench -exp all                 everything
 //
 // At -scale 1 the instances match the paper's node/port counts (ckt5 is a
@@ -27,13 +29,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|session|all")
 	scale := flag.Float64("scale", 0.25, "benchmark scale factor (0,1]; 1 = paper-size grids")
 	points := flag.Int("points", 61, "frequency samples for fig5")
 	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
 	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
 	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
-	benchJSON := flag.String("benchjson", "", "output path for the perf/interp experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp; unset otherwise so 'pgbench -exp all' has no file side effects)")
+	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session; unset otherwise so 'pgbench -exp all' has no file side effects)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -144,6 +146,27 @@ func main() {
 			return nil
 		})
 	}
+	if want("session") {
+		any = true
+		jsonPath := *benchJSON
+		if jsonPath == "" && *exp == "session" {
+			jsonPath = "BENCH_session.json"
+		}
+		run("Session: streaming transient advances vs recompute", func() error {
+			res, err := bench.Session(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if jsonPath != "" {
+				if err := res.WriteJSON(jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", jsonPath)
+			}
+			return nil
+		})
+	}
 	if want("ablation") {
 		any = true
 		run("Ablation: orthonormalization cost", func() error {
@@ -156,7 +179,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|all)\n", *exp)
 		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
 		os.Exit(2)
 	}

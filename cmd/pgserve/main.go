@@ -13,6 +13,16 @@
 // bracketing it, falling back to a real reduction when the self-checked
 // error exceeds -interp-tol.
 //
+// POST /session opens a long-lived streaming transient session: integrator
+// state is held server-side (a few complex numbers per mode), advances
+// stream NDJSON rows as they are computed, and the drive waveform can change
+// mid-session without restarting from t=0. Sessions are bounded
+// (-max-sessions) and evicted on -session-ttl / -session-idle. The HTTP
+// server sets -read-header-timeout and -idle-timeout (WriteTimeout stays
+// unset so streams live as long as their clients; dead clients cancel via
+// request context within one chunk), and request bodies are capped at
+// -max-body-bytes.
+//
 //	pgserve -addr :8080 -store-dir /var/lib/pgserve -preload ckt1@0.25,ckt2@0.1
 //
 //	curl -X POST localhost:8080/reduce -d '{"benchmark":"ckt1","scale":0.25}'
@@ -47,10 +57,18 @@ func main() {
 	noModal := flag.Bool("no-modal", false, "disable the modal fast path; every evaluation goes through the factorization cache")
 	interp := flag.Bool("interp", true, "serve unstored Scales by interpolating between stored modal ROM anchors (POST /interp, benchmark+scale on /eval and /sweep); disabled = always reduce")
 	interpTol := flag.Float64("interp-tol", 0, fmt.Sprintf("Δ-scale error budget: leave-one-out check error above which interpolation falls back to a real reduction (0 = default %g)", serve.DefaultInterpTol))
+	maxSessions := flag.Int("max-sessions", 0, fmt.Sprintf("bound on concurrent transient sessions (0 = default %d)", serve.DefaultMaxSessions))
+	sessionTTL := flag.Duration("session-ttl", 0, fmt.Sprintf("hard lifetime bound of a transient session (0 = default %v)", serve.DefaultSessionTTL))
+	sessionIdle := flag.Duration("session-idle", 0, fmt.Sprintf("idle timeout after which an untouched session is evicted (0 = default %v)", serve.DefaultSessionIdle))
+	maxBodyBytes := flag.Int64("max-body-bytes", 0, fmt.Sprintf("request body size cap in bytes; oversized bodies get 413 (0 = default %d)", serve.DefaultMaxBodyBytes))
+	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time a client gets to send its request headers before the connection is dropped (slowloris guard)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
 	flag.Parse()
 
 	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels,
-		DisableModal: *noModal, DisableInterp: !*interp, InterpTol: *interpTol}
+		DisableModal: *noModal, DisableInterp: !*interp, InterpTol: *interpTol,
+		MaxSessions: *maxSessions, SessionTTL: *sessionTTL, SessionIdle: *sessionIdle,
+		MaxBodyBytes: *maxBodyBytes}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -90,7 +108,19 @@ func main() {
 			m.ID, outcome, m.Nodes, m.Order, m.Blocks, time.Since(t0).Round(time.Millisecond))
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// WriteTimeout is deliberately unset: /sweep and /transient NDJSON
+	// responses and /session/{id}/advance streams are legitimately long-lived
+	// (a session may stream for minutes), and a server-wide write deadline
+	// would sever them mid-stream. Dead clients are handled per request
+	// instead — every handler threads r.Context(), so a disconnect cancels
+	// the evaluation within one chunk. ReadHeaderTimeout bounds slowloris
+	// header dribbling and IdleTimeout reclaims idle keep-alive connections.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -1,0 +1,179 @@
+// Example sessions demonstrates streaming transient sessions: a long-lived
+// client opens one session on a reduced model, streams integration rows in
+// chunks, switches the drive waveform mid-session (the integrator state
+// carries over — nothing restarts from t = 0), and compares the per-poll
+// cost against a client that re-runs /transient from scratch on every poll.
+// The session's per-mode state is a few complex numbers per block, so a
+// million-step session advance costs the same as the first — the paper's
+// tiny-ROM-state scalability argument applied to long-lived clients.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	srv := serve.New(serve.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	var model struct {
+		ID    string `json:"id"`
+		Order int    `json:"order"`
+		Nodes int    `json:"nodes"`
+	}
+	post(base+"/reduce", map[string]any{"benchmark": "ckt1", "scale": 0.2}, &model)
+	fmt.Printf("model %s: %d nodes -> order %d\n\n", model.ID, model.Nodes, model.Order)
+
+	// ---- One long-lived session, drive switched mid-stream. ----
+	const dt = 1e-10
+	var sess struct {
+		Session string `json:"session"`
+	}
+	post(base+"/session", map[string]any{"model": model.ID, "dt": dt}, &sess)
+	fmt.Printf("session %s (dt = %g)\n", sess.Session, dt)
+
+	step := map[string]any{"kind": "step", "amplitude": 1e-3}
+	rows := advance(base, sess.Session, 2000, step)
+	fmt.Printf("phase 1: %4d rows under a step drive, last |y0| = %.3e at t = %.2eps\n",
+		len(rows), rows[len(rows)-1].Y[0], rows[len(rows)-1].T*1e12)
+
+	// Switch the waveform mid-session: a sine ripple on the same DC level.
+	// The state carries over — the response continues from where it was.
+	sine := map[string]any{"kind": "sine", "offset": 1e-3, "amplitude": 5e-4, "freq": 2e9, "delay": rows[len(rows)-1].T}
+	rows2 := advance(base, sess.Session, 2000, sine)
+	fmt.Printf("phase 2: %4d rows after switching to a sine ripple mid-session\n", len(rows2))
+
+	var state struct {
+		Step int     `json:"step"`
+		Time float64 `json:"time"`
+		Rows int64   `json:"rows"`
+	}
+	get(base+"/session/"+sess.Session, &state)
+	fmt.Printf("session state: step %d, t = %.2eps, %d rows streamed total\n\n",
+		state.Step, state.Time*1e12, state.Rows)
+
+	// ---- Per-poll latency: session advance vs recompute-from-zero. ----
+	fmt.Println("per-poll latency, 2000 new steps per poll (session) vs full recompute (/transient):")
+	var poll struct {
+		Session string `json:"session"`
+	}
+	post(base+"/session", map[string]any{"model": model.ID, "dt": dt}, &poll)
+	elapsed := 0
+	for i := 1; i <= 4; i++ {
+		t0 := time.Now()
+		advance(base, poll.Session, 2000, step)
+		sessionMS := time.Since(t0)
+		elapsed += 2000
+
+		t0 = time.Now()
+		var tr struct {
+			T []float64 `json:"t"`
+		}
+		post(base+"/transient", map[string]any{
+			"model": model.ID, "dt": dt, "t": dt * float64(elapsed), "input": step,
+		}, &tr)
+		recomputeMS := time.Since(t0)
+		fmt.Printf("  poll %d (t = %5d steps): session %8v   recompute %8v\n",
+			i, elapsed, sessionMS.Round(time.Microsecond), recomputeMS.Round(time.Microsecond))
+	}
+
+	// ---- Hygiene: close what we opened; the janitor would anyway. ----
+	del(base + "/session/" + sess.Session)
+	del(base + "/session/" + poll.Session)
+	var health struct {
+		Sessions serve.SessionStats `json:"sessions"`
+	}
+	get(base+"/healthz", &health)
+	fmt.Printf("\nhealthz sessions: %d active, %d created, %d deleted, %d steps served\n",
+		health.Sessions.Active, health.Sessions.Created, health.Sessions.Deleted, health.Sessions.StepsTotal)
+}
+
+type row struct {
+	T float64   `json:"t"`
+	Y []float64 `json:"y"`
+}
+
+// advance streams one NDJSON advance and returns its rows.
+func advance(base, id string, steps int, input map[string]any) []row {
+	buf, _ := json.Marshal(map[string]any{"steps": steps, "input": input})
+	resp, err := http.Post(base+"/session/"+id+"/advance", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatalf("advance: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("advance: status %d", resp.StatusCode)
+	}
+	var rows []row
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		// The server ends a truncated stream (session evicted mid-advance,
+		// integrator failure) with a final {"error": ...} line.
+		var line struct {
+			row
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatalf("advance row: %v", err)
+		}
+		if line.Error != "" {
+			log.Fatalf("advance truncated: %s", line.Error)
+		}
+		rows = append(rows, line.row)
+	}
+	return rows
+}
+
+func post(url string, body, out any) {
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: status %d: %s", url, resp.StatusCode, e["error"])
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("POST %s: decode: %v", url, err)
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: decode: %v", url, err)
+	}
+}
+
+func del(url string) {
+	req, _ := http.NewRequest(http.MethodDelete, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatalf("DELETE %s: %v", url, err)
+	}
+	resp.Body.Close()
+}

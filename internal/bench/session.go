@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// SessionPoint compares, at one elapsed session length, what a streaming
+// session pays to advance one more chunk against what a poll-by-/transient
+// client pays to recompute the whole waveform from t = 0.
+type SessionPoint struct {
+	// ElapsedSteps is how far the session had already integrated.
+	ElapsedSteps int `json:"elapsed_steps"`
+	// AdvanceSteps is the chunk the client asks for next.
+	AdvanceSteps int `json:"advance_steps"`
+	// SessionNs is the cost of Stepper.Advance(AdvanceSteps) from the
+	// elapsed state; RecomputeNs the cost of SimulateModal over the full
+	// Elapsed+Advance horizon — the /transient-recompute baseline.
+	SessionNs   float64 `json:"session_ns"`
+	RecomputeNs float64 `json:"recompute_ns"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// SessionResult is the machine-readable record pgbench emits as
+// BENCH_session.json: steady-state step throughput plus the per-advance
+// latency trajectory that shows session advances are O(chunk) while
+// recompute-from-zero polling is O(elapsed).
+type SessionResult struct {
+	Name        string  `json:"name"`
+	Benchmark   string  `json:"benchmark"`
+	Scale       float64 `json:"scale"`
+	Order       int     `json:"order"`
+	Blocks      int     `json:"blocks"`
+	ModalBlocks int     `json:"modal_blocks"`
+	Ports       int     `json:"ports"`
+	Outputs     int     `json:"outputs"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
+	GoVersion   string  `json:"go_version"`
+
+	// StepsPerSec is the steady-state modal integration throughput of one
+	// session (single worker).
+	StepsPerSec float64 `json:"steady_steps_per_sec"`
+
+	Points []SessionPoint `json:"points"`
+
+	// SessionLatencyGrowth is the last advance latency over the first —
+	// ≈1 when per-advance cost is independent of elapsed session time.
+	// RecomputeLatencyGrowth is the same ratio for the recompute baseline —
+	// ≈(last horizon)/(first horizon) when recompute is O(t).
+	SessionLatencyGrowth   float64 `json:"session_latency_growth"`
+	RecomputeLatencyGrowth float64 `json:"recompute_latency_growth"`
+}
+
+// sessionChunk and sessionElapsed shape the session experiment: a fixed
+// per-advance chunk measured from ever-longer elapsed states. Variables so
+// the test harness can shrink them.
+var (
+	sessionChunk   = 256
+	sessionElapsed = []int{0, 4096, 16384, 65536}
+)
+
+// Session measures the streaming-session economics on one reduced model:
+// a resumable modal Stepper advancing a fixed chunk from ever-longer elapsed
+// states, against SimulateModal recomputing each horizon from t = 0.
+func Session(cfg Config) (*SessionResult, error) {
+	cfg.defaults()
+	const name = grid.Ckt1
+	sys, _, err := buildSystem(name, cfg.Scale)
+	if err != nil {
+		return nil, err
+	}
+	sr, rom := runBDSM(sys, grid.MatchedMoments(name), cfg.Workers)
+	if sr.Err != nil {
+		return nil, sr.Err
+	}
+	ms, err := rom.Modalize()
+	if err != nil {
+		return nil, fmt.Errorf("bench: modalize: %w", err)
+	}
+	modalBlocks, _ := ms.ModalCount()
+	order, m, p := rom.Dims()
+
+	const dt = 1e-11
+	chunk := sessionChunk
+	input := sim.UniformInput(sim.Sine{Amplitude: 1e-3, Freq: 1e9})
+
+	out := &SessionResult{
+		Name:        "session",
+		Benchmark:   name,
+		Scale:       cfg.Scale,
+		Order:       order,
+		Blocks:      len(rom.Blocks),
+		ModalBlocks: modalBlocks,
+		Ports:       m,
+		Outputs:     p,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		GoVersion:   runtime.Version(),
+	}
+
+	// Steady-state throughput: one long advance, steps/second.
+	thr := testing.Benchmark(func(b *testing.B) {
+		st, err := sim.NewStepper(ms, sim.StepperOptions{Dt: dt})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Advance(chunk, input); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if ns := float64(thr.T.Nanoseconds()) / float64(thr.N); ns > 0 {
+		out.StepsPerSec = float64(chunk) / (ns / 1e9)
+	}
+
+	for _, elapsed := range sessionElapsed {
+		// Session: restore the elapsed state before each timed advance, so
+		// every iteration measures exactly "advance chunk steps from step
+		// `elapsed`".
+		st, err := sim.NewStepper(ms, sim.StepperOptions{Dt: dt})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := st.Advance(elapsed, input); err != nil {
+			return nil, err
+		}
+		snap := st.Snapshot()
+		adv := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := st.Restore(snap); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Advance(chunk, input); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		// Baseline: a /transient-polling client recomputes the whole horizon.
+		horizon := elapsed + chunk
+		rec := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.SimulateModal(ms, sim.TransientOptions{
+					Dt: dt, T: dt * float64(horizon), Input: input,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		pt := SessionPoint{
+			ElapsedSteps: elapsed,
+			AdvanceSteps: chunk,
+			SessionNs:    float64(adv.T.Nanoseconds()) / float64(adv.N),
+			RecomputeNs:  float64(rec.T.Nanoseconds()) / float64(rec.N),
+		}
+		if pt.SessionNs > 0 {
+			pt.Speedup = pt.RecomputeNs / pt.SessionNs
+		}
+		out.Points = append(out.Points, pt)
+	}
+
+	if first, last := out.Points[0], out.Points[len(out.Points)-1]; first.SessionNs > 0 && first.RecomputeNs > 0 {
+		out.SessionLatencyGrowth = last.SessionNs / first.SessionNs
+		out.RecomputeLatencyGrowth = last.RecomputeNs / first.RecomputeNs
+	}
+	return out, nil
+}
+
+// Render prints the session benchmark table.
+func (r *SessionResult) Render(w io.Writer) {
+	line(w, "%s @ scale %g: order %d, %d blocks (%d modal), dt-steady %.2fM steps/s, GOMAXPROCS %d",
+		r.Benchmark, r.Scale, r.Order, r.Blocks, r.ModalBlocks, r.StepsPerSec/1e6, r.GoMaxProcs)
+	line(w, "%-14s %-14s %14s %14s %10s", "elapsed steps", "advance steps", "session ns", "recompute ns", "speedup")
+	for _, pt := range r.Points {
+		line(w, "%-14d %-14d %14.0f %14.0f %9.1f×", pt.ElapsedSteps, pt.AdvanceSteps, pt.SessionNs, pt.RecomputeNs, pt.Speedup)
+	}
+	line(w, "per-advance latency growth from 0 to %d elapsed steps: session %.2f× (flat), recompute %.1f× (O(t))",
+		r.Points[len(r.Points)-1].ElapsedSteps, r.SessionLatencyGrowth, r.RecomputeLatencyGrowth)
+}
+
+// WriteJSON writes the machine-readable record (BENCH_session.json).
+func (r *SessionResult) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSessionRecord runs the streaming-session benchmark harness at a small
+// scale and checks the record carries the acceptance signal: per-advance
+// session latency independent of elapsed time, recompute latency O(t).
+func TestSessionRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs micro-benchmarks")
+	}
+	defer func(c int, e []int) { sessionChunk, sessionElapsed = c, e }(sessionChunk, sessionElapsed)
+	sessionChunk = 64
+	sessionElapsed = []int{0, 2048}
+
+	res, err := Session(Config{Scale: 0.1})
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("got %d points, want 2", len(res.Points))
+	}
+	if res.StepsPerSec <= 0 {
+		t.Fatalf("no steady-state throughput: %+v", res)
+	}
+	for _, pt := range res.Points {
+		if pt.SessionNs <= 0 || pt.RecomputeNs <= 0 {
+			t.Fatalf("empty measurement: %+v", pt)
+		}
+	}
+	// 2048 elapsed steps = 32 chunks: recompute must have grown far more
+	// than the session advance (which should stay within noise of flat).
+	if res.RecomputeLatencyGrowth < 4 {
+		t.Errorf("recompute latency growth %.2f×, want ≥4× over 32× longer horizon", res.RecomputeLatencyGrowth)
+	}
+	if res.SessionLatencyGrowth > res.RecomputeLatencyGrowth/2 {
+		t.Errorf("session latency growth %.2f× is not clearly flat vs recompute %.2f×",
+			res.SessionLatencyGrowth, res.RecomputeLatencyGrowth)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_session.json")
+	if err := res.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SessionResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("record is not valid JSON: %v", err)
+	}
+	if len(back.Points) != len(res.Points) {
+		t.Fatal("record round-trip lost points")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("Render produced nothing")
+	}
+}

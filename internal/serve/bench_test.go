@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"testing"
 )
 
@@ -112,13 +113,13 @@ func BenchmarkSweepRepeatedFactored(b *testing.B) {
 	eng := NewEngine(0)
 	defer eng.Close()
 	ev := NewEvaluator(eng, NewFactorCache(0), false)
-	if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
+	if _, err := ev.Sweep(context.Background(), m, 0, 0, 1e5, 1e15, 200); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
+		if _, err := ev.Sweep(context.Background(), m, 0, 0, 1e5, 1e15, 200); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,13 +133,13 @@ func BenchmarkSweepRepeatedModal(b *testing.B) {
 	if ev.modalFor(m) == nil {
 		b.Fatal("test model not served modally")
 	}
-	if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
+	if _, err := ev.Sweep(context.Background(), m, 0, 0, 1e5, 1e15, 200); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := ev.Sweep(m, 0, 0, 1e5, 1e15, 200); err != nil {
+		if _, err := ev.Sweep(context.Background(), m, 0, 0, 1e5, 1e15, 200); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -68,9 +69,23 @@ func (e *Engine) submit(f func()) {
 // order) is returned. Map must not be called from inside a pool task — that
 // would deadlock a fully-loaded pool.
 func (e *Engine) Map(n int, fn func(i int) error) error {
+	return e.MapCtx(context.Background(), n, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: tasks that have not started
+// when ctx is canceled are skipped (they still occupy the queue, but return
+// immediately when a worker picks them up), so a disconnected client's
+// remaining work drains in O(queue) channel operations instead of running
+// every evaluation to completion. A task already inside fn finishes — fn
+// should check ctx itself between chunks when its own work is long. When any
+// task was skipped and no harder error occurred, the context's error is
+// returned.
+func (e *Engine) MapCtx(ctx context.Context, n int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var skipped bool
+	done := ctx.Done()
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
@@ -87,6 +102,16 @@ func (e *Engine) Map(n int, fn func(i int) error) error {
 					mu.Unlock()
 				}
 			}()
+			if done != nil {
+				select {
+				case <-done:
+					mu.Lock()
+					skipped = true
+					mu.Unlock()
+					return
+				default:
+				}
+			}
 			if err := fn(i); err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -97,5 +122,8 @@ func (e *Engine) Map(n int, fn func(i int) error) error {
 		})
 	}
 	wg.Wait()
+	if firstErr == nil && skipped {
+		firstErr = context.Cause(ctx)
+	}
 	return firstErr
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"testing"
 )
@@ -26,11 +27,11 @@ func TestEvaluatorConcurrentSweepStress(t *testing.T) {
 		ev := NewEvaluator(eng, NewFactorCache(0), useModal)
 
 		// Serial baselines computed before the stampede.
-		wantSweep, err := ev.SweepEntries(m, entries, DefaultWMin, DefaultWMax, points)
+		wantSweep, err := ev.SweepEntries(context.Background(), m, entries, DefaultWMin, DefaultWMax, points)
 		if err != nil {
 			t.Fatal(err)
 		}
-		wantEval, err := ev.EvalBatch(m, omegas)
+		wantEval, err := ev.EvalBatch(context.Background(), m, omegas)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,7 +45,7 @@ func TestEvaluatorConcurrentSweepStress(t *testing.T) {
 			go func(g int) {
 				defer wg.Done()
 				for r := 0; r < rounds; r++ {
-					sw, err := ev.SweepEntries(m, entries, DefaultWMin, DefaultWMax, points)
+					sw, err := ev.SweepEntries(context.Background(), m, entries, DefaultWMin, DefaultWMax, points)
 					if err != nil {
 						errc <- err
 						return
@@ -57,7 +58,7 @@ func TestEvaluatorConcurrentSweepStress(t *testing.T) {
 							}
 						}
 					}
-					hm, err := ev.EvalBatch(m, omegas)
+					hm, err := ev.EvalBatch(context.Background(), m, omegas)
 					if err != nil {
 						errc <- err
 						return
@@ -70,7 +71,7 @@ func TestEvaluatorConcurrentSweepStress(t *testing.T) {
 							}
 						}
 					}
-					if _, err := ev.Sweep(m, g%m.Outputs, g%m.Ports, 1e6, 1e12, 10); err != nil {
+					if _, err := ev.Sweep(context.Background(), m, g%m.Outputs, g%m.Ports, 1e6, 1e12, 10); err != nil {
 						errc <- err
 						return
 					}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"math/cmplx"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,7 @@ type Evaluator struct {
 
 	modalEvals    atomic.Int64
 	factoredEvals atomic.Int64
+	canceled      atomic.Int64
 
 	scratch sync.Pool // *evalScratch
 }
@@ -79,6 +81,20 @@ func (ev *Evaluator) PathStats() (modal, factored int64) {
 	return ev.modalEvals.Load(), ev.factoredEvals.Load()
 }
 
+// CanceledEvals reports how many requests were aborted mid-evaluation by
+// context cancellation (client disconnects, deadlines).
+func (ev *Evaluator) CanceledEvals() int64 { return ev.canceled.Load() }
+
+// finish folds a request's terminal error through the abort counter: work
+// cut short by its context is accounted so /healthz shows how much pool time
+// disconnected clients released.
+func (ev *Evaluator) finish(ctx context.Context, err error) error {
+	if err != nil && ctx.Err() != nil {
+		ev.canceled.Add(1)
+	}
+	return err
+}
+
 // getScratch hands out a buffer set sized for model m.
 func (ev *Evaluator) getScratch(m *Model) *evalScratch {
 	sc, _ := ev.scratch.Get().(*evalScratch)
@@ -103,9 +119,9 @@ func (sc *evalScratch) sizeSolveBuf(f *lti.BlockDiagFactors) []complex128 {
 // grid. On the modal path the whole sweep is a single vectorized residue
 // pass; on the factored path every point goes through the factorization
 // cache, so sweeps from concurrent requests on the same grid share pencil
-// factors.
-func (ev *Evaluator) Sweep(m *Model, row, col int, wMin, wMax float64, points int) ([]SweepPoint, error) {
-	sweeps, err := ev.SweepEntries(m, []Entry{{Row: row, Col: col}}, wMin, wMax, points)
+// factors. Cancelling ctx aborts between per-frequency tasks.
+func (ev *Evaluator) Sweep(ctx context.Context, m *Model, row, col int, wMin, wMax float64, points int) ([]SweepPoint, error) {
+	sweeps, err := ev.SweepEntries(ctx, m, []Entry{{Row: row, Col: col}}, wMin, wMax, points)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +132,8 @@ func (ev *Evaluator) Sweep(m *Model, row, col int, wMin, wMax float64, points in
 // frequency grid in a single pass: the modal path replays its residue data
 // per entry with zero factorizations, and the factored path factors each
 // (frequency, column) pencil once no matter how many entries read it.
-func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64, points int) ([]EntrySweep, error) {
+// Cancelling ctx skips the tasks not yet started.
+func (ev *Evaluator) SweepEntries(ctx context.Context, m *Model, entries []Entry, wMin, wMax float64, points int) ([]EntrySweep, error) {
 	if len(entries) == 0 {
 		return nil, badRequest("no entries requested")
 	}
@@ -136,7 +153,7 @@ func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64,
 
 	if ms := ev.modalFor(m); ms != nil {
 		// One task per entry: each is a full vectorized pass over the grid.
-		err := ev.eng.Map(len(entries), func(i int) error {
+		err := ev.eng.MapCtx(ctx, len(entries), func(i int) error {
 			dst := make([]complex128, points)
 			if err := ms.SweepEntryInto(dst, entries[i].Row, entries[i].Col, grid); err != nil {
 				return err
@@ -147,7 +164,7 @@ func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64,
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, ev.finish(ctx, err)
 		}
 		ev.modalEvals.Add(int64(len(entries) * points))
 		return out, nil
@@ -160,7 +177,7 @@ func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64,
 	for i, e := range entries {
 		byCol[e.Col] = append(byCol[e.Col], i)
 	}
-	err = ev.eng.Map(points, func(k int) error {
+	err = ev.eng.MapCtx(ctx, points, func(k int) error {
 		sc := ev.getScratch(m)
 		defer ev.scratch.Put(sc)
 		s := complex(0, grid[k])
@@ -181,7 +198,7 @@ func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64,
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ev.finish(ctx, err)
 	}
 	ev.factoredEvals.Add(int64(len(entries) * points))
 	return out, nil
@@ -189,11 +206,12 @@ func (ev *Evaluator) SweepEntries(m *Model, entries []Entry, wMin, wMax float64,
 
 // EvalBatch computes the full p×m transfer matrix at each requested angular
 // frequency, one engine task per frequency — modal when available, through
-// the factorization cache otherwise.
-func (ev *Evaluator) EvalBatch(m *Model, omegas []float64) ([]*dense.Mat[complex128], error) {
+// the factorization cache otherwise. Cancelling ctx skips the frequencies
+// not yet started.
+func (ev *Evaluator) EvalBatch(ctx context.Context, m *Model, omegas []float64) ([]*dense.Mat[complex128], error) {
 	out := make([]*dense.Mat[complex128], len(omegas))
 	ms := ev.modalFor(m)
-	err := ev.eng.Map(len(omegas), func(k int) error {
+	err := ev.eng.MapCtx(ctx, len(omegas), func(k int) error {
 		s := complex(0, omegas[k])
 		if ms != nil {
 			h, err := ms.Eval(s)
@@ -217,7 +235,7 @@ func (ev *Evaluator) EvalBatch(m *Model, omegas []float64) ([]*dense.Mat[complex
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ev.finish(ctx, err)
 	}
 	n := int64(len(omegas) * m.Ports)
 	if ms != nil {
@@ -228,27 +246,69 @@ func (ev *Evaluator) EvalBatch(m *Model, omegas []float64) ([]*dense.Mat[complex
 	return out, nil
 }
 
+// transientChunkSteps is how many integration steps a transient advances
+// between context checks: small enough that a disconnected client frees its
+// pool slot within one chunk, large enough that the check is noise.
+const transientChunkSteps = 256
+
+// Stepper builds a resumable integrator for the model, routed exactly like
+// Transient: modal when the fast path fully covers the model, implicit
+// otherwise. Sessions call this once and then Advance incrementally.
+func (ev *Evaluator) Stepper(m *Model, method sim.Method, dt float64) (*sim.Stepper, error) {
+	if ms := ev.modalFor(m); ms != nil {
+		return sim.NewStepper(ms, sim.StepperOptions{Method: method, Dt: dt})
+	}
+	return sim.NewImplicitStepper(m.ROM, sim.StepperOptions{Method: method, Dt: dt})
+}
+
 // Transient runs a transient on the model's ROM as a single engine task, so
 // the pool's worker count bounds total evaluation concurrency across sweeps,
 // evals, and transients alike. Fully modal models integrate each mode
 // exactly (per-mode exponentials, no implicit solves); the rest run the
 // fixed-step implicit integrator. The block work inside the occupied slot
-// runs serially (Workers = 1).
-func (ev *Evaluator) Transient(m *Model, opts sim.TransientOptions) (*sim.Result, error) {
-	opts.Workers = 1
+// runs serially, advancing in chunks so a canceled ctx (client disconnect)
+// releases the slot within transientChunkSteps steps instead of integrating
+// to completion.
+func (ev *Evaluator) Transient(ctx context.Context, m *Model, opts sim.TransientOptions) (*sim.Result, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	ms := ev.modalFor(m)
 	var res *sim.Result
-	err := ev.eng.Map(1, func(int) error {
-		var err error
-		if ms != nil {
-			res, err = sim.SimulateModal(ms, opts)
-		} else {
-			res, err = sim.SimulateBlockDiag(m.ROM, opts)
+	err := ev.eng.MapCtx(ctx, 1, func(int) error {
+		st, err := ev.Stepper(m, opts.Method, opts.Dt)
+		if err != nil {
+			return err
 		}
-		return err
+		steps := opts.Steps()
+		r := &sim.Result{T: make([]float64, 0, steps+1), Y: make([][]float64, 0, steps+1)}
+		y0, err := st.Output(opts.Input)
+		if err != nil {
+			return err
+		}
+		r.T = append(r.T, 0)
+		r.Y = append(r.Y, y0)
+		for remaining := steps; remaining > 0; {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			n := transientChunkSteps
+			if n > remaining {
+				n = remaining
+			}
+			chunk, err := st.Advance(n, opts.Input)
+			if err != nil {
+				return err
+			}
+			r.T = append(r.T, chunk.T...)
+			r.Y = append(r.Y, chunk.Y...)
+			remaining -= n
+		}
+		res = r
+		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, ev.finish(ctx, err)
 	}
 	if ms != nil {
 		ev.modalEvals.Add(1)

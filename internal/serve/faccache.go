@@ -249,6 +249,10 @@ type CacheStats struct {
 	// fills them in from its Evaluator when reporting merged stats.
 	ModalEvals    int64 `json:"modal_evals"`
 	FactoredEvals int64 `json:"factored_evals"`
+	// CanceledEvals counts requests aborted mid-evaluation because their
+	// context was canceled (client disconnect, deadline) — pool time handed
+	// back instead of burned; the Server fills it in from its Evaluator.
+	CanceledEvals int64 `json:"canceled_evals"`
 }
 
 // Stats reports cache occupancy and hit/miss/eviction counters.

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"strings"
@@ -78,17 +79,35 @@ type Config struct {
 	// MaxInterpModels bounds the resident interpolated-model LRU; 0 selects
 	// DefaultMaxInterpModels.
 	MaxInterpModels int
+	// MaxBodyBytes caps the request body size every endpoint will read; 0
+	// selects DefaultMaxBodyBytes. Oversized bodies get 413.
+	MaxBodyBytes int64
+	// MaxSessions bounds concurrently resident transient sessions; 0 selects
+	// DefaultMaxSessions.
+	MaxSessions int
+	// SessionTTL is the hard lifetime bound of a transient session; 0
+	// selects DefaultSessionTTL.
+	SessionTTL time.Duration
+	// SessionIdle evicts sessions untouched for this long; 0 selects
+	// DefaultSessionIdle.
+	SessionIdle time.Duration
 }
+
+// DefaultMaxBodyBytes caps request bodies when no explicit limit is given.
+// The largest legitimate request (a PWL waveform with thousands of
+// breakpoints) fits comfortably in 1 MiB.
+const DefaultMaxBodyBytes int64 = 1 << 20
 
 // Server wires the repository, factorization cache, and evaluation engine
 // behind an http.Handler.
 type Server struct {
-	repo  *Repository
-	cache *FactorCache
-	eng   *Engine
-	ev    *Evaluator
-	cfg   Config
-	start time.Time
+	repo     *Repository
+	cache    *FactorCache
+	eng      *Engine
+	ev       *Evaluator
+	sessions *SessionManager
+	cfg      Config
+	start    time.Time
 }
 
 // New assembles a Server. Call Close to stop its worker pool.
@@ -99,12 +118,16 @@ func New(cfg Config) *Server {
 	if cfg.MaxEvalEntries <= 0 {
 		cfg.MaxEvalEntries = 1 << 22
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
 	s := &Server{
-		repo:  NewRepositoryWithStore(cfg.MaxModels, cfg.Store),
-		cache: NewFactorCache(cfg.CacheBytes),
-		eng:   NewEngine(cfg.Workers),
-		cfg:   cfg,
-		start: time.Now(),
+		repo:     NewRepositoryWithStore(cfg.MaxModels, cfg.Store),
+		cache:    NewFactorCache(cfg.CacheBytes),
+		eng:      NewEngine(cfg.Workers),
+		sessions: NewSessionManager(cfg.MaxSessions, cfg.SessionTTL, cfg.SessionIdle),
+		cfg:      cfg,
+		start:    time.Now(),
 	}
 	s.ev = NewEvaluator(s.eng, s.cache, !cfg.DisableModal)
 	if cfg.DisableModal {
@@ -121,8 +144,15 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Close stops the evaluation pool after draining in-flight tasks.
-func (s *Server) Close() { s.eng.Close() }
+// Close stops the session janitor and the evaluation pool after draining
+// in-flight tasks.
+func (s *Server) Close() {
+	s.sessions.Close()
+	s.eng.Close()
+}
+
+// Sessions exposes the session manager (used by tests).
+func (s *Server) Sessions() *SessionManager { return s.sessions }
 
 // Repo exposes the model repository (used by preloading and tests).
 func (s *Server) Repo() *Repository { return s.repo }
@@ -181,22 +211,27 @@ func (s *Server) CacheStats() CacheStats {
 	st.DiskHits = rs.DiskHits
 	st.DiskMisses = rs.DiskMisses
 	st.ModalEvals, st.FactoredEvals = s.ev.PathStats()
+	st.CanceledEvals = s.ev.CanceledEvals()
 	return st
 }
 
 // Handler returns the HTTP API:
 //
-//	POST /reduce    build (or fetch) a model           → model info JSON
-//	POST /interp    Δ-scale model via interpolation    → model info JSON
-//	POST /eval      batch-evaluate H(jω) at points     → JSON
-//	POST /sweep     AC sweep of one entry              → JSON or NDJSON
-//	POST /transient fixed-step transient run           → JSON or NDJSON
-//	GET  /models    list built models                  → JSON
-//	GET  /healthz   liveness + cache/pool stats        → JSON
+//	POST   /reduce               build (or fetch) a model           → model info JSON
+//	POST   /interp               Δ-scale model via interpolation    → model info JSON
+//	POST   /eval                 batch-evaluate H(jω) at points     → JSON
+//	POST   /sweep                AC sweep of one entry              → JSON or NDJSON
+//	POST   /transient            fixed-step transient run           → JSON or NDJSON
+//	POST   /session              open a streaming transient session → session info JSON
+//	POST   /session/{id}/advance advance + stream rows              → NDJSON
+//	GET    /session/{id}         session state/metrics              → JSON
+//	DELETE /session/{id}         close a session                    → JSON
+//	GET    /models               list built models                  → JSON
+//	GET    /healthz              liveness + cache/pool stats        → JSON
 //
-// /eval and /sweep accept benchmark+scale in place of a model id: an
-// unstored Scale is then resolved through the Δ-scale interpolation path
-// (or a real reduction when interpolation is disabled or falls back).
+// /eval, /sweep, and /session accept benchmark+scale in place of a model
+// id: an unstored Scale is then resolved through the Δ-scale interpolation
+// path (or a real reduction when interpolation is disabled or falls back).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /reduce", s.handleReduce)
@@ -204,6 +239,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /eval", s.handleEval)
 	mux.HandleFunc("POST /sweep", s.handleSweep)
 	mux.HandleFunc("POST /transient", s.handleTransient)
+	mux.HandleFunc("POST /session", s.handleSessionCreate)
+	mux.HandleFunc("POST /session/{id}/advance", s.handleSessionAdvance)
+	mux.HandleFunc("GET /session/{id}", s.handleSessionGet)
+	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
@@ -237,11 +276,26 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
+// decodeBody reads one JSON document from a size-capped request body.
+// Oversized bodies surface as 413 (http.MaxBytesReader also closes the
+// connection so the client stops uploading); trailing bytes after the
+// document — concatenated JSON, smuggled garbage — are rejected as 400
+// instead of silently ignored.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return &httpError{code: http.StatusRequestEntityTooLarge,
+				err: fmt.Errorf("request body exceeds %d bytes", mbe.Limit)}
+		}
 		return badRequest("bad request body: %v", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return badRequest("trailing data after JSON request body")
 	}
 	return nil
 }
@@ -282,7 +336,7 @@ func modelInfo(m *Model, outcome Outcome) reduceResponse {
 
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	var key ModelKey
-	if err := decodeBody(r, &key); err != nil {
+	if err := s.decodeBody(w, r, &key); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -327,7 +381,7 @@ type interpRequest struct {
 
 func (s *Server) handleInterp(w http.ResponseWriter, r *http.Request) {
 	var req interpRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -411,7 +465,7 @@ type evalMatrix struct {
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	var req evalRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -438,7 +492,7 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	mats, err := s.ev.EvalBatch(m, req.Omegas)
+	mats, err := s.ev.EvalBatch(r.Context(), m, req.Omegas)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -481,7 +535,7 @@ type sweepRequest struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -513,7 +567,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				len(req.Entries), req.Points, total, s.cfg.MaxEvalEntries))
 			return
 		}
-		sweeps, err := s.ev.SweepEntries(m, req.Entries, req.WMin, req.WMax, req.Points)
+		sweeps, err := s.ev.SweepEntries(r.Context(), m, req.Entries, req.WMin, req.WMax, req.Points)
 		if err != nil {
 			writeErr(w, err)
 			return
@@ -530,7 +584,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	// Sweep distinguishes validation errors (400) from evaluation
 	// failures, which surface as 500.
-	pts, err := s.ev.Sweep(m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
+	pts, err := s.ev.Sweep(r.Context(), m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -545,13 +599,35 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// streamWriteTimeout is the rolling write deadline of every NDJSON stream
+// (/sweep, /transient, session advances): generous enough for any live
+// reader, finite so a stalled client (open connection, zero receive window)
+// cannot pin a handler goroutine forever. Needed because the server's
+// WriteTimeout is deliberately unset for streaming responses.
+const streamWriteTimeout = 30 * time.Second
+
+// armStreamDeadline pushes the connection's write deadline streamWriteTimeout
+// into the future; clearStreamDeadline removes it. Every stream must clear on
+// exit: with WriteTimeout unset, net/http never resets the deadline between
+// requests, and a stale one would poison the next request on the same
+// keep-alive connection.
+func armStreamDeadline(rc *http.ResponseController) {
+	rc.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+}
+func clearStreamDeadline(rc *http.ResponseController) { rc.SetWriteDeadline(time.Time{}) }
+
 // streamNDJSON writes n JSON lines, flushing as it goes so clients see rows
-// as they are produced.
+// as they are produced, under the rolling stream write deadline.
 func streamNDJSON(w http.ResponseWriter, n int, row func(enc *json.Encoder, i int) error) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	fl, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
+	defer clearStreamDeadline(rc)
 	for i := 0; i < n; i++ {
+		if i%64 == 0 {
+			armStreamDeadline(rc)
+		}
 		if err := row(enc, i); err != nil {
 			return
 		}
@@ -621,7 +697,7 @@ type transientRow struct {
 
 func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 	var req transientRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := s.decodeBody(w, r, &req); err != nil {
 		writeErr(w, err)
 		return
 	}
@@ -630,40 +706,14 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, err)
 		return
 	}
-	src, err := req.Input.source()
+	input, err := buildInput(&req.Input, req.Ports, m.Ports)
 	if err != nil {
-		writeErr(w, badRequest("%v", err))
+		writeErr(w, err)
 		return
 	}
-	var input sim.Input
-	if len(req.Ports) == 0 {
-		input = sim.UniformInput(src)
-	} else {
-		for _, p := range req.Ports {
-			if p < 0 || p >= m.Ports {
-				writeErr(w, badRequest("port %d out of range %d", p, m.Ports))
-				return
-			}
-		}
-		ports := append([]int(nil), req.Ports...)
-		input = func(t float64, u []float64) {
-			v := src.At(t)
-			for i := range u {
-				u[i] = 0
-			}
-			for _, p := range ports {
-				u[p] = v
-			}
-		}
-	}
-	var method sim.Method
-	switch strings.ToLower(req.Method) {
-	case "", "be":
-		method = sim.BackwardEuler
-	case "trap":
-		method = sim.Trapezoidal
-	default:
-		writeErr(w, badRequest("unknown method %q (want be or trap)", req.Method))
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeErr(w, err)
 		return
 	}
 	if req.Dt <= 0 || req.T <= 0 {
@@ -674,7 +724,7 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, badRequest("step count %g exceeds limit %d", req.T/req.Dt, s.cfg.MaxSweepPoints))
 		return
 	}
-	res, err := s.ev.Transient(m, sim.TransientOptions{
+	res, err := s.ev.Transient(r.Context(), m, sim.TransientOptions{
 		Method: method, Dt: req.Dt, T: req.T, Input: input,
 	})
 	if err != nil {
@@ -709,6 +759,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"models":     len(s.repo.Models()),
 		"cache":      s.CacheStats(),
 		"repo":       s.repo.Stats(),
+		"sessions":   s.sessions.Stats(),
 		"workers":    s.eng.Workers(),
 		"goroutines": runtime.NumGoroutine(),
 	}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"math/cmplx"
 	"net/http"
@@ -26,7 +27,7 @@ func TestSweepEntriesMatchesSingle(t *testing.T) {
 				t.Fatal(err)
 			}
 			entries := []Entry{{0, 0}, {1, 0}, {0, 2}, {2, 2}, {1, 1}}
-			sweeps, err := srv.ev.SweepEntries(m, entries, 1e6, 1e12, 25)
+			sweeps, err := srv.ev.SweepEntries(context.Background(), m, entries, 1e6, 1e12, 25)
 			if err != nil {
 				t.Fatalf("SweepEntries: %v", err)
 			}
@@ -34,7 +35,7 @@ func TestSweepEntriesMatchesSingle(t *testing.T) {
 				t.Fatalf("got %d sweeps, want %d", len(sweeps), len(entries))
 			}
 			for i, e := range entries {
-				single, err := srv.ev.Sweep(m, e.Row, e.Col, 1e6, 1e12, 25)
+				single, err := srv.ev.Sweep(context.Background(), m, e.Row, e.Col, 1e6, 1e12, 25)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -63,11 +64,11 @@ func TestSweepEntriesAgreeAcrossPaths(t *testing.T) {
 		t.Fatal(err)
 	}
 	entries := []Entry{{0, 0}, {1, 1}, {0, 1}}
-	modal, err := NewEvaluator(srv.eng, srv.cache, true).SweepEntries(m, entries, 1e5, 1e15, 40)
+	modal, err := NewEvaluator(srv.eng, srv.cache, true).SweepEntries(context.Background(), m, entries, 1e5, 1e15, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
-	factored, err := NewEvaluator(srv.eng, NewFactorCache(0), false).SweepEntries(m, entries, 1e5, 1e15, 40)
+	factored, err := NewEvaluator(srv.eng, NewFactorCache(0), false).SweepEntries(context.Background(), m, entries, 1e5, 1e15, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,17 +190,17 @@ func TestModalServeStress(t *testing.T) {
 			for it := 0; it < 10; it++ {
 				switch (g + it) % 3 {
 				case 0:
-					if _, err := srv.ev.Sweep(m, it%m.Outputs, it%m.Ports, 1e5, 1e15, 30); err != nil {
+					if _, err := srv.ev.Sweep(context.Background(), m, it%m.Outputs, it%m.Ports, 1e5, 1e15, 30); err != nil {
 						errs <- err
 						return
 					}
 				case 1:
-					if _, err := srv.ev.SweepEntries(m, []Entry{{0, 0}, {it % m.Outputs, it % m.Ports}}, 1e5, 1e15, 15); err != nil {
+					if _, err := srv.ev.SweepEntries(context.Background(), m, []Entry{{0, 0}, {it % m.Outputs, it % m.Ports}}, 1e5, 1e15, 15); err != nil {
 						errs <- err
 						return
 					}
 				case 2:
-					if _, err := srv.ev.EvalBatch(m, []float64{1e8, 1e9 * float64(1+it)}); err != nil {
+					if _, err := srv.ev.EvalBatch(context.Background(), m, []float64{1e8, 1e9 * float64(1+it)}); err != nil {
 						errs <- err
 						return
 					}

@@ -1,9 +1,7 @@
 package sim
 
 import (
-	"fmt"
 	"math/cmplx"
-	"sync"
 
 	"repro/internal/lti"
 )
@@ -96,92 +94,12 @@ func (st *modalBlockState) addOutput(y []float64, u float64) {
 // selected by opts.Method, exactly as SimulateBlockDiag steps them. With
 // Workers > 1 the blocks are sharded across goroutines.
 func SimulateModal(ms *lti.ModalSystem, opts TransientOptions) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	_, m, p := ms.Dims()
-	h, beta := opts.Dt, opts.beta()
-
-	type anyBlock struct {
-		modal    *modalBlockState
-		implicit *implicitBlockState
+	st, err := NewStepper(ms, StepperOptions{Method: opts.Method, Dt: opts.Dt, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
 	}
-	blocks := make([]anyBlock, len(ms.Blocks))
-	for i := range ms.Blocks {
-		mb := &ms.Blocks[i]
-		if mb.Modal {
-			blocks[i] = anyBlock{modal: newModalBlockState(mb, h)}
-			continue
-		}
-		st, err := newImplicitBlockState(&ms.BD.Blocks[i], h, beta)
-		if err != nil {
-			return nil, fmt.Errorf("sim: block %d: %w", i, err)
-		}
-		blocks[i] = anyBlock{implicit: st}
-	}
-
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	uNow := make([]float64, m)
-	uNext := make([]float64, m)
-	steps := opts.steps()
-	res := &Result{T: make([]float64, 0, steps+1), Y: make([][]float64, 0, steps+1)}
-
-	output := func(u []float64) []float64 {
-		y := make([]float64, p)
-		for i := range blocks {
-			if b := &blocks[i]; b.modal != nil {
-				b.modal.addOutput(y, u[b.modal.input])
-			} else {
-				b.implicit.addOutput(y)
-			}
-		}
-		return y
-	}
-	stepOne := func(i int) {
-		if b := &blocks[i]; b.modal != nil {
-			b.modal.step(uNow[b.modal.input], uNext[b.modal.input])
-		} else {
-			b.implicit.step(uNow[b.implicit.input], uNext[b.implicit.input])
-		}
-	}
-
-	opts.Input(0, uNow)
-	res.T = append(res.T, 0)
-	res.Y = append(res.Y, output(uNow))
-	for k := 1; k <= steps; k++ {
-		t := float64(k) * h
-		opts.Input(t, uNext)
-		if workers == 1 {
-			for i := range blocks {
-				stepOne(i)
-			}
-		} else {
-			var wg sync.WaitGroup
-			chunk := (len(blocks) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo, hi := w*chunk, (w+1)*chunk
-				if hi > len(blocks) {
-					hi = len(blocks)
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(lo, hi int) {
-					defer wg.Done()
-					for i := lo; i < hi; i++ {
-						stepOne(i)
-					}
-				}(lo, hi)
-			}
-			wg.Wait()
-		}
-		copy(uNow, uNext)
-		res.T = append(res.T, t)
-		res.Y = append(res.Y, output(uNow))
-	}
-	return res, nil
+	return runStepper(st, opts)
 }

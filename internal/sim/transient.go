@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/dense"
 	"repro/internal/lti"
@@ -47,7 +46,7 @@ type TransientOptions struct {
 	Workers int
 }
 
-func (o *TransientOptions) validate() error {
+func (o *TransientOptions) Validate() error {
 	if o.Dt <= 0 || o.T <= 0 {
 		return fmt.Errorf("sim: Dt and T must be positive, got %g, %g", o.Dt, o.T)
 	}
@@ -63,8 +62,8 @@ type Result struct {
 	Y [][]float64
 }
 
-// steps computes the step count.
-func (o *TransientOptions) steps() int {
+// Steps computes the fixed step count of the run.
+func (o *TransientOptions) Steps() int {
 	n := int(o.T/o.Dt + 0.5)
 	if n < 1 {
 		n = 1
@@ -76,18 +75,13 @@ func (o *TransientOptions) steps() int {
 //
 //	(C - β·h·G) x_{k+1} = (C + (h-β·h)·G) x_k + h·[β·B·u_{k+1} + (1-β)·B·u_k]
 //
-// with β = 1 (BE) or β = 1/2 (trapezoidal).
-func (o *TransientOptions) beta() float64 {
-	if o.Method == Trapezoidal {
-		return 0.5
-	}
-	return 1
-}
+// with β = 1 (BE) or β = 1/2 (trapezoidal); see methodBeta.
+func (o *TransientOptions) beta() float64 { return methodBeta(o.Method) }
 
 // SimulateSparse integrates the full sparse descriptor model with one sparse
 // LU factorization of (C - β·h·G) and one solve per step.
 func SimulateSparse(sys *lti.SparseSystem, opts TransientOptions) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	n, m, _ := sys.Dims()
@@ -105,7 +99,7 @@ func SimulateSparse(sys *lti.SparseSystem, opts TransientOptions) (*Result, erro
 	uNow := make([]float64, m)
 	uNext := make([]float64, m)
 	bu := make([]float64, n)
-	steps := opts.steps()
+	steps := opts.Steps()
 	res := &Result{T: make([]float64, 0, steps+1), Y: make([][]float64, 0, steps+1)}
 	record := func(t float64) {
 		res.T = append(res.T, t)
@@ -144,7 +138,7 @@ func SimulateSparse(sys *lti.SparseSystem, opts TransientOptions) (*Result, erro
 // factorization and an O(q²) solve per step — the O(m³l³)-flavored cost the
 // paper attributes to PRIMA ROM simulation.
 func SimulateDense(d *lti.DenseSystem, opts TransientOptions) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	q, m, _ := d.Dims()
@@ -162,7 +156,7 @@ func SimulateDense(d *lti.DenseSystem, opts TransientOptions) (*Result, error) {
 	uNext := make([]float64, m)
 	bu := make([]float64, q)
 	uw := make([]float64, m)
-	steps := opts.steps()
+	steps := opts.Steps()
 	res := &Result{T: make([]float64, 0, steps+1), Y: make([][]float64, 0, steps+1)}
 	opts.Input(0, uNow)
 	res.T = append(res.T, 0)
@@ -246,76 +240,32 @@ func (st *implicitBlockState) addOutput(y []float64) {
 // versus O(m²l²) for the dense ROM. With Workers > 1 the blocks are sharded
 // across goroutines — the parallelism the block-diagonal structure buys.
 func SimulateBlockDiag(bd *lti.BlockDiagSystem, opts TransientOptions) (*Result, error) {
-	if err := opts.validate(); err != nil {
+	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
-	_, m, p := bd.Dims()
-	h, beta := opts.Dt, opts.beta()
-
-	states := make([]*implicitBlockState, len(bd.Blocks))
-	for i := range bd.Blocks {
-		st, err := newImplicitBlockState(&bd.Blocks[i], h, beta)
-		if err != nil {
-			return nil, fmt.Errorf("sim: block %d: %w", i, err)
-		}
-		states[i] = st
+	st, err := NewImplicitStepper(bd, StepperOptions{Method: opts.Method, Dt: opts.Dt, Workers: opts.Workers})
+	if err != nil {
+		return nil, err
 	}
+	return runStepper(st, opts)
+}
 
-	workers := opts.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	uNow := make([]float64, m)
-	uNext := make([]float64, m)
-	steps := opts.steps()
+// runStepper drives a freshly built Stepper through one complete transient:
+// the t = 0 row, then every remaining step in a single Advance.
+func runStepper(st *Stepper, opts TransientOptions) (*Result, error) {
+	steps := opts.Steps()
 	res := &Result{T: make([]float64, 0, steps+1), Y: make([][]float64, 0, steps+1)}
-
-	output := func() []float64 {
-		y := make([]float64, p)
-		for _, st := range states {
-			st.addOutput(y)
-		}
-		return y
+	y0, err := st.Output(opts.Input)
+	if err != nil {
+		return nil, err
 	}
-	stepBlock := func(st *implicitBlockState) {
-		st.step(uNow[st.input], uNext[st.input])
-	}
-
-	opts.Input(0, uNow)
 	res.T = append(res.T, 0)
-	res.Y = append(res.Y, output())
-	for k := 1; k <= steps; k++ {
-		t := float64(k) * h
-		opts.Input(t, uNext)
-		if workers == 1 {
-			for _, st := range states {
-				stepBlock(st)
-			}
-		} else {
-			var wg sync.WaitGroup
-			chunk := (len(states) + workers - 1) / workers
-			for w := 0; w < workers; w++ {
-				lo := w * chunk
-				hi := lo + chunk
-				if hi > len(states) {
-					hi = len(states)
-				}
-				if lo >= hi {
-					break
-				}
-				wg.Add(1)
-				go func(sts []*implicitBlockState) {
-					defer wg.Done()
-					for _, st := range sts {
-						stepBlock(st)
-					}
-				}(states[lo:hi])
-			}
-			wg.Wait()
-		}
-		res.T = append(res.T, t)
-		res.Y = append(res.Y, output())
-		copy(uNow, uNext)
+	res.Y = append(res.Y, y0)
+	chunk, err := st.Advance(steps, opts.Input)
+	if err != nil {
+		return nil, err
 	}
+	res.T = append(res.T, chunk.T...)
+	res.Y = append(res.Y, chunk.Y...)
 	return res, nil
 }

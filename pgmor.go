@@ -189,6 +189,29 @@ func SimulateModalROM(ms *ModalROM, opts TransientOptions) (*TransientResult, er
 	return sim.SimulateModal(ms, opts)
 }
 
+// Stepper is a resumable fixed-step transient integrator: advance in chunks,
+// change the drive waveform between advances, snapshot and restore the
+// per-mode state — the engine behind pgserve's streaming /session endpoints.
+type Stepper = sim.Stepper
+
+// StepperOptions configures a Stepper.
+type StepperOptions = sim.StepperOptions
+
+// StepperState is a deep snapshot of a Stepper's integration state.
+type StepperState = sim.StepperState
+
+// NewStepper builds a resumable integrator over a modal ROM (non-modal
+// blocks fall back to the implicit rule of opts.Method).
+func NewStepper(ms *ModalROM, opts StepperOptions) (*Stepper, error) {
+	return sim.NewStepper(ms, opts)
+}
+
+// NewImplicitStepper builds a resumable all-implicit integrator over a
+// block-diagonal ROM.
+func NewImplicitStepper(rom *BlockDiagROM, opts StepperOptions) (*Stepper, error) {
+	return sim.NewImplicitStepper(rom, opts)
+}
+
 // SaveROM serializes a block-diagonal ROM for later reuse.
 func SaveROM(w io.Writer, rom *BlockDiagROM) error { return lti.SaveBlockDiag(w, rom) }
 
