@@ -11,6 +11,8 @@
 //	                                 (writes machine-readable BENCH_interp.json)
 //	pgbench -exp session             streaming-session advances vs /transient
 //	                                 recompute (writes BENCH_session.json)
+//	pgbench -exp obs                 metrics-recording overhead on the hot
+//	                                 paths (writes BENCH_obs.json)
 //	pgbench -exp all                 everything
 //
 // At -scale 1 the instances match the paper's node/port counts (ckt5 is a
@@ -29,13 +31,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|session|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|session|obs|all")
 	scale := flag.Float64("scale", 0.25, "benchmark scale factor (0,1]; 1 = paper-size grids")
 	points := flag.Int("points", 61, "frequency samples for fig5")
 	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
 	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
 	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
-	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session; unset otherwise so 'pgbench -exp all' has no file side effects)")
+	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session/obs experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session, BENCH_obs.json when -exp obs; unset otherwise so 'pgbench -exp all' has no file side effects)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -167,6 +169,27 @@ func main() {
 			return nil
 		})
 	}
+	if want("obs") {
+		any = true
+		jsonPath := *benchJSON
+		if jsonPath == "" && *exp == "obs" {
+			jsonPath = "BENCH_obs.json"
+		}
+		run("Obs: metrics-recording overhead", func() error {
+			res, err := bench.Obs(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if jsonPath != "" {
+				if err := res.WriteJSON(jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", jsonPath)
+			}
+			return nil
+		})
+	}
 	if want("ablation") {
 		any = true
 		run("Ablation: orthonormalization cost", func() error {
@@ -179,7 +202,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|obs|all)\n", *exp)
 		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
 		os.Exit(2)
 	}

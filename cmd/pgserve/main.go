@@ -23,19 +23,32 @@
 // request context within one chunk), and request bodies are capped at
 // -max-body-bytes.
 //
-//	pgserve -addr :8080 -store-dir /var/lib/pgserve -preload ckt1@0.25,ckt2@0.1
+// Observability: GET /metrics serves Prometheus text-format counters and
+// latency histograms for every subsystem; GET /healthz answers 503 while the
+// store preload runs and once a SIGTERM drain begins, so a health-aware
+// router pulls the replica; every request carries an X-Request-Id
+// (propagated from the client or generated) echoed on the response, in error
+// bodies, and on each structured log line (-log-format, -log-level,
+// -slow-request); and -debug-addr starts a separate ops listener exposing
+// net/http/pprof.
+//
+//	pgserve -addr :8080 -store-dir /var/lib/pgserve -preload ckt1@0.25,ckt2@0.1 \
+//	  -log-format json -debug-addr localhost:6060
 //
 //	curl -X POST localhost:8080/reduce -d '{"benchmark":"ckt1","scale":0.25}'
 //	curl -X POST localhost:8080/sweep \
 //	  -d '{"model":"ckt1-0.25-l6-s01e09","row":0,"col":0,"wmin":1e5,"wmax":1e15,"points":200}'
+//	curl localhost:8080/metrics
+//	go tool pprof http://localhost:6060/debug/pprof/profile
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -63,49 +76,39 @@ func main() {
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, fmt.Sprintf("request body size cap in bytes; oversized bodies get 413 (0 = default %d)", serve.DefaultMaxBodyBytes))
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time a client gets to send its request headers before the connection is dropped (slowloris guard)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	slowRequest := flag.Duration("slow-request", time.Second, "requests slower than this log at Warn (0 = never)")
+	debugAddr := flag.String("debug-addr", "", "ops listener address exposing /debug/pprof (empty = disabled; bind to localhost)")
 	flag.Parse()
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pgserve: %v\n", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels,
 		DisableModal: *noModal, DisableInterp: !*interp, InterpTol: *interpTol,
 		MaxSessions: *maxSessions, SessionTTL: *sessionTTL, SessionIdle: *sessionIdle,
-		MaxBodyBytes: *maxBodyBytes}
+		MaxBodyBytes: *maxBodyBytes, Logger: logger, SlowRequest: *slowRequest}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
-			log.Fatalf("pgserve: %v", err)
+			fatal("opening store", "dir", *storeDir, "err", err)
 		}
 		cfg.Store = st
 	}
 	srv := serve.New(cfg)
 	defer srv.Close()
 
-	if cfg.Store != nil {
-		t0 := time.Now()
-		n, err := srv.PreloadStore()
-		if err != nil {
-			log.Fatalf("pgserve: preloading store %s: %v", *storeDir, err)
-		}
-		st := cfg.Store.Stats()
-		log.Printf("store %s: %d model(s) preloaded (no reduction) in %v; %d entries, %d quarantined",
-			*storeDir, n, time.Since(t0).Round(time.Millisecond), st.Entries, st.Quarantined)
-	}
-
-	for _, spec := range strings.Split(*preload, ",") {
-		spec = strings.TrimSpace(spec)
-		if spec == "" {
-			continue
-		}
-		key, err := parsePreload(spec)
-		if err != nil {
-			log.Fatalf("pgserve: -preload %q: %v", spec, err)
-		}
-		t0 := time.Now()
-		m, outcome, err := srv.Repo().Get(key)
-		if err != nil {
-			log.Fatalf("pgserve: preloading %q: %v", spec, err)
-		}
-		log.Printf("preloaded %s (%s): %d nodes -> order %d (%d blocks) in %v",
-			m.ID, outcome, m.Nodes, m.Order, m.Blocks, time.Since(t0).Round(time.Millisecond))
+	if *debugAddr != "" {
+		go serveDebug(logger, *debugAddr)
 	}
 
 	// WriteTimeout is deliberately unset: /sweep and /transient NDJSON
@@ -124,25 +127,99 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Listen immediately but answer /healthz with 503 until the preloads
+	// finish: a router probing the replica sees "starting", not connection
+	// refused, and knows not to route real traffic yet.
+	srv.SetNotReady("store preload in progress")
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	cacheMiB := *cacheMB
 	if cacheMiB <= 0 {
 		cacheMiB = serve.DefaultCacheBytes >> 20
 	}
-	log.Printf("pgserve listening on %s (workers=%d, cache=%dMiB, store=%q)",
-		*addr, *workers, cacheMiB, *storeDir)
+	logger.Info("pgserve listening", "addr", *addr, "workers", *workers,
+		"cache_mib", cacheMiB, "store", *storeDir)
+
+	go func() {
+		if cfg.Store != nil {
+			t0 := time.Now()
+			n, err := srv.PreloadStore()
+			if err != nil {
+				fatal("preloading store", "dir", *storeDir, "err", err)
+			}
+			st := cfg.Store.Stats()
+			logger.Info("store preloaded", "dir", *storeDir, "models", n,
+				"duration", time.Since(t0).Round(time.Millisecond).String(),
+				"entries", st.Entries, "quarantined", st.Quarantined)
+		}
+		for _, spec := range strings.Split(*preload, ",") {
+			spec = strings.TrimSpace(spec)
+			if spec == "" {
+				continue
+			}
+			key, err := parsePreload(spec)
+			if err != nil {
+				fatal("bad -preload spec", "spec", spec, "err", err)
+			}
+			t0 := time.Now()
+			m, outcome, err := srv.Repo().Get(key)
+			if err != nil {
+				fatal("preloading model", "spec", spec, "err", err)
+			}
+			logger.Info("model preloaded", "model", m.ID, "source", outcome.String(),
+				"nodes", m.Nodes, "order", m.Order, "blocks", m.Blocks,
+				"duration", time.Since(t0).Round(time.Millisecond).String())
+		}
+		srv.SetReady()
+		logger.Info("pgserve ready")
+	}()
 
 	select {
 	case err := <-errc:
-		log.Fatalf("pgserve: %v", err)
+		fatal("listen", "err", err)
 	case <-ctx.Done():
 	}
-	log.Printf("pgserve: shutting down")
+	// Drain: flip /healthz to 503 first so the router stops sending work,
+	// then shut the listener down gracefully.
+	srv.SetNotReady("draining: shutdown in progress")
+	logger.Info("pgserve shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
-		log.Printf("pgserve: shutdown: %v", err)
+		logger.Warn("shutdown", "err", err)
+	}
+}
+
+// buildLogger assembles the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+}
+
+// serveDebug runs the ops listener: pprof only, on its own mux and port, so
+// profiling endpoints are never exposed on the serving address.
+func serveDebug(logger *slog.Logger, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ds := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("debug listener (pprof)", "addr", addr)
+	if err := ds.ListenAndServe(); err != nil {
+		logger.Error("debug listener", "err", err)
 	}
 }
 

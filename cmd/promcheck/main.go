@@ -1,0 +1,53 @@
+// Command promcheck validates a Prometheus text-format scrape on stdin: it
+// must parse under the strict obs parser (HELP/TYPE pairing, label quoting,
+// monotone cumulative histogram buckets), and every metric family named in
+// -require must be present. Exit status 0 means a well-formed scrape with all
+// required families; anything else is a CI failure.
+//
+//	curl -fsS localhost:8080/metrics | promcheck \
+//	  -require pgserve_http_requests_total,pgserve_repo_builds_total
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must appear in the scrape")
+	min := flag.Int("min-series", 1, "minimum number of samples the scrape must contain")
+	flag.Parse()
+
+	sc, err := obs.ParseText(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promcheck: malformed scrape: %v\n", err)
+		os.Exit(1)
+	}
+	if len(sc.Samples) < *min {
+		fmt.Fprintf(os.Stderr, "promcheck: scrape has %d samples, want at least %d\n", len(sc.Samples), *min)
+		os.Exit(1)
+	}
+
+	missing := 0
+	for _, name := range strings.Split(*require, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		// A histogram family appears as name_bucket/_sum/_count series; accept
+		// the family name if any of its series (or the name itself) is present.
+		if sc.Has(name) || sc.Has(name+"_bucket") || sc.Has(name+"_sum") || sc.Has(name+"_count") {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "promcheck: required metric %q missing from scrape\n", name)
+		missing++
+	}
+	if missing > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d samples, %d families typed)\n", len(sc.Samples), len(sc.Types))
+}

@@ -88,15 +88,17 @@ func main() {
 
 	// ---- The ledger: anchors + 1 fallback reductions, nothing else. ----
 	var health struct {
-		Repo struct {
-			Builds          int64 `json:"builds"`
-			InterpServed    int64 `json:"interp_served"`
-			InterpFallbacks int64 `json:"interp_fallbacks"`
-			InterpModels    int   `json:"interp_models"`
-		} `json:"repo"`
+		Stats struct {
+			Repo struct {
+				Builds          int64 `json:"builds"`
+				InterpServed    int64 `json:"interp_served"`
+				InterpFallbacks int64 `json:"interp_fallbacks"`
+				InterpModels    int   `json:"interp_models"`
+			} `json:"repo"`
+		} `json:"stats"`
 	}
 	get(base+"/healthz", &health)
-	r := health.Repo
+	r := health.Stats.Repo
 	fmt.Printf("\nreductions: %d (3 anchors + %d fallback); interpolation served %d Δ-scale requests, %d interpolants resident\n",
 		r.Builds, r.InterpFallbacks, r.InterpServed, r.InterpModels)
 	if want := int64(len(anchors)) + r.InterpFallbacks; r.Builds != want {

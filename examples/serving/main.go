@@ -129,26 +129,29 @@ func runWaves(base string, info modelInfo) {
 }
 
 func printHealth(base string) {
+	// The subsystem counters live under /healthz's "stats" key.
 	var health struct {
-		Cache struct {
-			Entries     int   `json:"entries"`
-			Hits        int64 `json:"hits"`
-			Misses      int64 `json:"misses"`
-			Evictions   int64 `json:"evictions"`
-			BudgetBytes int64 `json:"budget_bytes"`
-			Bytes       int64 `json:"bytes"`
-			DiskHits    int64 `json:"disk_hits"`
-			ModalEvals  int64 `json:"modal_evals"`
-			Factored    int64 `json:"factored_evals"`
-		} `json:"cache"`
-		Repo struct {
-			Builds   int64 `json:"builds"`
-			DiskHits int64 `json:"disk_hits"`
-		} `json:"repo"`
-		Workers int `json:"workers"`
+		Stats struct {
+			Cache struct {
+				Entries     int   `json:"entries"`
+				Hits        int64 `json:"hits"`
+				Misses      int64 `json:"misses"`
+				Evictions   int64 `json:"evictions"`
+				BudgetBytes int64 `json:"budget_bytes"`
+				Bytes       int64 `json:"bytes"`
+				DiskHits    int64 `json:"disk_hits"`
+				ModalEvals  int64 `json:"modal_evals"`
+				Factored    int64 `json:"factored_evals"`
+			} `json:"cache"`
+			Repo struct {
+				Builds   int64 `json:"builds"`
+				DiskHits int64 `json:"disk_hits"`
+			} `json:"repo"`
+			Workers int `json:"workers"`
+		} `json:"stats"`
 	}
 	get(base+"/healthz", &health)
-	c := health.Cache
+	c := health.Stats.Cache
 	hitRate := 0.0
 	if c.Hits+c.Misses > 0 {
 		hitRate = 100 * float64(c.Hits) / float64(c.Hits+c.Misses)
@@ -157,7 +160,7 @@ func printHealth(base string) {
 		c.ModalEvals, c.Factored,
 		c.Entries, float64(c.Bytes)/(1<<20), c.BudgetBytes>>20,
 		c.Hits, c.Misses, hitRate,
-		health.Repo.Builds, health.Repo.DiskHits)
+		health.Stats.Repo.Builds, health.Stats.Repo.DiskHits)
 }
 
 func post(url string, body, out any) {

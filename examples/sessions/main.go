@@ -98,11 +98,14 @@ func main() {
 	del(base + "/session/" + sess.Session)
 	del(base + "/session/" + poll.Session)
 	var health struct {
-		Sessions serve.SessionStats `json:"sessions"`
+		Stats struct {
+			Sessions serve.SessionStats `json:"sessions"`
+		} `json:"stats"`
 	}
 	get(base+"/healthz", &health)
+	ss := health.Stats.Sessions
 	fmt.Printf("\nhealthz sessions: %d active, %d created, %d deleted, %d steps served\n",
-		health.Sessions.Active, health.Sessions.Created, health.Sessions.Deleted, health.Sessions.StepsTotal)
+		ss.Active, ss.Created, ss.Deleted, ss.StepsTotal)
 }
 
 type row struct {

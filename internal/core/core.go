@@ -71,6 +71,12 @@ type Options struct {
 	TruncTol float64
 	// Stats, when non-nil, receives cost accounting for the reduction.
 	Stats *Stats
+	// OnPhase, when non-nil, is called once per completed reduction phase
+	// with its wall-clock duration: "factor" (pencil factorization, step 2)
+	// and "krylov" (basis construction + congruence, steps 3–5). Serving
+	// layers use it to feed per-phase latency histograms without coupling
+	// this package to any metrics system.
+	OnPhase func(phase string, d time.Duration)
 }
 
 // Normalize applies the documented defaults in place (S0, Moments, Workers).
@@ -143,6 +149,9 @@ func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
 		factorNNZ += op.FactorNNZ
 	}
 	factorTime := time.Since(tFactor)
+	if opts.OnPhase != nil {
+		opts.OnPhase("factor", factorTime)
+	}
 
 	// Steps 3–5: per splitted system, build the thin basis V⁽ⁱ⁾ and project.
 	// Each splitted system is independent — BDSM's cluster-and-
@@ -196,6 +205,9 @@ func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
 		return nil, fmt.Errorf("core: input matrix B is zero; nothing to reduce")
 	}
 	reduceTime := time.Since(tReduce)
+	if opts.OnPhase != nil {
+		opts.OnPhase("krylov", reduceTime)
+	}
 
 	if opts.Stats != nil {
 		st := opts.Stats

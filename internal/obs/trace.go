@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"time"
+)
+
+// Trace is the request-scoped identity carried through a request's
+// context.Context: the request ID (generated, or propagated from an
+// X-Request-Id header) plus annotations handlers attach for the access log.
+// A Trace lives on one request's goroutine: handlers write annotations
+// before returning, the middleware reads them after — no locking needed.
+type Trace struct {
+	// ID is the request identifier attached to every log line and error
+	// response of this request.
+	ID string
+	// Model is the model ID the request resolved, when it resolved one —
+	// annotated by handlers so per-request log lines are greppable by model.
+	Model string
+}
+
+// SetModel annotates the trace with the model a request operates on.
+// Nil-safe so handlers need not care whether tracing is wired.
+func (t *Trace) SetModel(id string) {
+	if t != nil {
+		t.Model = id
+	}
+}
+
+// maxRequestIDLen bounds propagated request IDs: anything longer is hostile
+// or broken and is replaced rather than amplified into logs.
+const maxRequestIDLen = 64
+
+// ValidRequestID reports whether a client-supplied request ID is safe to
+// propagate: non-empty, bounded, and drawn from a log-and-header-safe
+// charset (letters, digits, '.', '_', '-').
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > maxRequestIDLen {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NewRequestID returns a fresh 64-bit random hex request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; a clock-derived ID
+		// only weakens uniqueness, not correctness.
+		return fmt.Sprintf("t%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// NewTrace builds a Trace from a propagated request ID, generating a fresh
+// ID when the supplied one is absent or invalid.
+func NewTrace(propagated string) *Trace {
+	if !ValidRequestID(propagated) {
+		return &Trace{ID: NewRequestID()}
+	}
+	return &Trace{ID: propagated}
+}
+
+type traceKey struct{}
+
+// ContextWithTrace attaches a trace to a context.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when none is attached.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// RequestID returns the context's request ID, or "" when untraced.
+func RequestID(ctx context.Context) string {
+	if t := TraceFrom(ctx); t != nil {
+		return t.ID
+	}
+	return ""
+}

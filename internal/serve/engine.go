@@ -5,6 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Engine is the shared fixed-size worker pool that batched evaluations fan
@@ -17,6 +21,19 @@ type Engine struct {
 	wg        sync.WaitGroup
 	workers   int
 	closeOnce sync.Once
+
+	// queued tracks tasks submitted but not yet picked up by a worker — the
+	// queue-depth gauge. completed and skipped are lifetime totals; skipped
+	// counts tasks abandoned by context cancellation before running.
+	queued    atomic.Int64
+	completed atomic.Int64
+	skipped   atomic.Int64
+
+	// waitHist / runHist, when set via Instrument, receive per-task
+	// queue-wait and run durations. Both nil by default so uninstrumented
+	// engines (library use, benchmarks) never call time.Now per task.
+	waitHist *obs.Histogram
+	runHist  *obs.Histogram
 }
 
 // NewEngine starts a pool of the given size; workers <= 0 selects
@@ -43,8 +60,25 @@ func NewEngine(workers int) *Engine {
 	return e
 }
 
+// Instrument attaches task wait-time and run-time histograms. Must be called
+// before the engine receives work: the histogram fields are read without
+// synchronization on the task path.
+func (e *Engine) Instrument(wait, run *obs.Histogram) {
+	e.waitHist = wait
+	e.runHist = run
+}
+
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// QueueDepth reports tasks submitted but not yet started.
+func (e *Engine) QueueDepth() int64 { return e.queued.Load() }
+
+// TaskCounts reports lifetime completed and skipped (canceled before
+// running) task totals.
+func (e *Engine) TaskCounts() (completed, skipped int64) {
+	return e.completed.Load(), e.skipped.Load()
+}
 
 // Close stops the pool. Safe to call with Maps still in flight (a graceful
 // HTTP shutdown that timed out may leave handlers running): their remaining
@@ -86,11 +120,30 @@ func (e *Engine) MapCtx(ctx context.Context, n int, fn func(i int) error) error 
 	var firstErr error
 	var skipped bool
 	done := ctx.Done()
+	// One timestamp for the whole batch, taken only when timing is on: tasks
+	// submitted together share their enqueue instant, so the wait histogram
+	// costs one time.Now per Map, not per task.
+	instrumented := e.waitHist != nil || e.runHist != nil
+	var enqueued time.Time
+	if instrumented {
+		enqueued = time.Now()
+	}
 	for i := 0; i < n; i++ {
 		i := i
 		wg.Add(1)
+		e.queued.Add(1)
 		e.submit(func() {
 			defer wg.Done()
+			e.queued.Add(-1)
+			// One clock read serves both histograms: the instant a worker
+			// picks the task up ends its queue wait and starts its run.
+			var start time.Time
+			if instrumented {
+				start = time.Now()
+			}
+			if e.waitHist != nil {
+				e.waitHist.Observe(start.Sub(enqueued).Seconds())
+			}
 			// A panicking task must not kill the shared worker (and with
 			// it the process); surface it as this Map's error instead.
 			defer func() {
@@ -105,6 +158,7 @@ func (e *Engine) MapCtx(ctx context.Context, n int, fn func(i int) error) error 
 			if done != nil {
 				select {
 				case <-done:
+					e.skipped.Add(1)
 					mu.Lock()
 					skipped = true
 					mu.Unlock()
@@ -112,7 +166,12 @@ func (e *Engine) MapCtx(ctx context.Context, n int, fn func(i int) error) error 
 				default:
 				}
 			}
-			if err := fn(i); err != nil {
+			err := fn(i)
+			if e.runHist != nil {
+				e.runHist.ObserveSince(start)
+			}
+			e.completed.Add(1)
+			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err

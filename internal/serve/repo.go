@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grid"
 	"repro/internal/lti"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -244,6 +245,13 @@ type Repository struct {
 
 	builds, memHits, diskHits, diskMisses, storeErrors atomic.Int64
 	interpServed, interpFallbacks                      atomic.Int64
+
+	// buildHist / phases, when set via Instrument, receive end-to-end build
+	// durations and per-phase reduction timings (grid_build, factor, krylov,
+	// modalize). Nil by default: an uninstrumented repository records
+	// nothing and pays nothing.
+	buildHist *obs.Histogram
+	phases    *obs.HistogramVec
 }
 
 type repoEntry struct {
@@ -262,6 +270,26 @@ func NewRepository(maxModels int) *Repository {
 // model it builds or loads. Must be called before the repository serves
 // requests.
 func (r *Repository) DisableModal() { r.noModal = true }
+
+// Instrument attaches a build-duration histogram and a per-phase reduction
+// timing histogram vector (label: phase). Must be called before the
+// repository serves requests.
+func (r *Repository) Instrument(build *obs.Histogram, phases *obs.HistogramVec) {
+	r.buildHist = build
+	r.phases = phases
+}
+
+// phaseFunc returns the per-phase timing callback builds thread into the
+// reduction pipeline, or nil when uninstrumented.
+func (r *Repository) phaseFunc() func(string, time.Duration) {
+	phases := r.phases
+	if phases == nil {
+		return nil
+	}
+	return func(phase string, d time.Duration) {
+		phases.With(phase).Observe(d.Seconds())
+	}
+}
 
 // NewRepositoryWithStore returns a repository backed by the given persistent
 // ROM store (nil for memory-only): reductions write through to it and misses
@@ -340,8 +368,10 @@ func (r *Repository) get(key ModelKey, allowBuild bool) (*Model, Outcome, error)
 			e.err = fmt.Errorf("%w: %s", errNotInStore, key.ID())
 		} else {
 			outcome = OutcomeBuilt
-			e.model, e.err = safeBuild(key, r.buildSem, r.noModal)
+			t0 := time.Now()
+			e.model, e.err = safeBuild(key, r.buildSem, r.noModal, r.phaseFunc())
 			if e.err == nil {
+				r.buildHist.ObserveSince(t0)
 				r.builds.Add(1)
 				r.writeThrough(key, e.model)
 			}
@@ -607,7 +637,7 @@ func (r *Repository) Models() []*Model {
 // and converting panics to errors on every exit path — a panicking build
 // must not strand a semaphore slot or leave single-flight waiters blocked
 // on a ready channel that never closes.
-func safeBuild(key ModelKey, sem chan struct{}, noModal bool) (m *Model, err error) {
+func safeBuild(key ModelKey, sem chan struct{}, noModal bool, phase func(string, time.Duration)) (m *Model, err error) {
 	sem <- struct{}{}
 	defer func() { <-sem }()
 	defer func() {
@@ -615,12 +645,14 @@ func safeBuild(key ModelKey, sem chan struct{}, noModal bool) (m *Model, err err
 			m, err = nil, fmt.Errorf("serve: building %s panicked: %v", key.ID(), r)
 		}
 	}()
-	return buildModel(key, noModal)
+	return buildModel(key, noModal, phase)
 }
 
 // buildModel runs the full pipeline for one key: generate the synthetic
-// grid, stamp it into a descriptor system, and reduce it with BDSM.
-func buildModel(key ModelKey, noModal bool) (*Model, error) {
+// grid, stamp it into a descriptor system, and reduce it with BDSM. phase,
+// when non-nil, receives per-phase wall-clock timings (grid_build, factor,
+// krylov, modalize) so slow reductions are decomposable.
+func buildModel(key ModelKey, noModal bool, phase func(string, time.Duration)) (*Model, error) {
 	cfg, err := grid.Benchmark(key.Benchmark, key.Scale)
 	if err != nil {
 		return nil, err
@@ -637,9 +669,12 @@ func buildModel(key ModelKey, noModal bool) (*Model, error) {
 		return nil, fmt.Errorf("serve: wrapping %s: %w", key.ID(), err)
 	}
 	buildTime := time.Since(tBuild)
+	if phase != nil {
+		phase("grid_build", buildTime)
+	}
 
 	tReduce := time.Now()
-	rom, err := core.Reduce(sys, core.Options{S0: key.S0, Moments: key.Moments})
+	rom, err := core.Reduce(sys, core.Options{S0: key.S0, Moments: key.Moments, OnPhase: phase})
 	if err != nil {
 		return nil, fmt.Errorf("serve: reducing %s: %w", key.ID(), err)
 	}
@@ -649,7 +684,11 @@ func buildModel(key ModelKey, noModal bool) (*Model, error) {
 	// subsequent evaluation of this model rides the modal fast path.
 	var modal *lti.ModalSystem
 	if !noModal {
+		tModal := time.Now()
 		modal = modalize(rom)
+		if phase != nil {
+			phase("modalize", time.Since(tModal))
+		}
 	}
 
 	n, m, p := sys.Dims()

@@ -18,12 +18,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/grid"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -91,6 +94,16 @@ type Config struct {
 	// SessionIdle evicts sessions untouched for this long; 0 selects
 	// DefaultSessionIdle.
 	SessionIdle time.Duration
+	// Logger receives structured per-request and error logs; nil discards
+	// them (tests and library embedders stay quiet by default).
+	Logger *slog.Logger
+	// SlowRequest, when positive, raises per-request log lines that exceed
+	// it from Info to Warn.
+	SlowRequest time.Duration
+	// DisableMetrics skips all metrics registration and recording: no
+	// registry, no /metrics endpoint, no histogram observation anywhere.
+	// The benchmarking baseline for measuring instrumentation overhead.
+	DisableMetrics bool
 }
 
 // DefaultMaxBodyBytes caps request bodies when no explicit limit is given.
@@ -108,6 +121,14 @@ type Server struct {
 	sessions *SessionManager
 	cfg      Config
 	start    time.Time
+
+	log     *slog.Logger
+	reg     *obs.Registry
+	metrics *serverMetrics
+	// notReady holds the reason the server is not ready to serve (store
+	// preload in progress, draining for shutdown); nil means ready. /healthz
+	// reports 503 with the reason so a router can pull the replica.
+	notReady atomic.Pointer[string]
 }
 
 // New assembles a Server. Call Close to stop its worker pool.
@@ -129,7 +150,15 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		start:    time.Now(),
 	}
+	s.log = cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
 	s.ev = NewEvaluator(s.eng, s.cache, !cfg.DisableModal)
+	if !cfg.DisableMetrics {
+		s.reg = obs.NewRegistry()
+		s.metrics = newServerMetrics(s.reg, s)
+	}
 	if cfg.DisableModal {
 		// The escape hatch disables the diagonalization code end to end:
 		// no Modalize on builds or legacy disk loads, no modal routing.
@@ -156,6 +185,16 @@ func (s *Server) Sessions() *SessionManager { return s.sessions }
 
 // Repo exposes the model repository (used by preloading and tests).
 func (s *Server) Repo() *Repository { return s.repo }
+
+// Metrics exposes the server's metrics registry (nil when DisableMetrics).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// SetNotReady marks the server unready: /healthz returns 503 with the
+// reason until SetReady. Used around store preloads and shutdown drains.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+
+// SetReady marks the server ready to serve.
+func (s *Server) SetReady() { s.notReady.Store(nil) }
 
 // PreloadStore registers every valid ROM from the persistent store without
 // reducing, then pre-factors the standard sweep grid for each — the full
@@ -245,7 +284,60 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /session/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /models", s.handleModels)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	if s.reg != nil {
+		mux.Handle("GET /metrics", s.reg.Handler())
+	}
+	return s.withObs(mux)
+}
+
+// withObs is the outermost middleware: it establishes the request's trace
+// (generating or propagating the X-Request-Id), echoes the ID on the
+// response, records per-route metrics, and emits one structured log line
+// per request. It wraps the mux rather than each handler so even unmatched
+// routes are traced and counted.
+func (s *Server) withObs(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.NewTrace(r.Header.Get("X-Request-Id"))
+		w.Header().Set("X-Request-Id", tr.ID)
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+		route := routeOf(mux, r)
+		t0 := time.Now()
+		s.metrics.requestStart()
+		sw := &statusWriter{ResponseWriter: w}
+		mux.ServeHTTP(sw, r)
+		s.metrics.requestEnd()
+		d := time.Since(t0)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.metrics.request(route, status, d, r.ContentLength, sw.bytes)
+		lvl := slog.LevelInfo
+		if s.cfg.SlowRequest > 0 && d > s.cfg.SlowRequest {
+			lvl = slog.LevelWarn
+		}
+		attrs := []any{
+			"request_id", tr.ID,
+			"route", route,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration_ms", float64(d) / 1e6,
+			"bytes", sw.bytes,
+		}
+		if tr.Model != "" {
+			attrs = append(attrs, "model", tr.Model)
+		}
+		s.log.Log(r.Context(), lvl, "request", attrs...)
+	})
+}
+
+// noteModel annotates the request's trace with the model it resolved, so
+// the request log line is greppable by model ID.
+func noteModel(r *http.Request, m *Model) {
+	if m != nil {
+		obs.TraceFrom(r.Context()).SetModel(m.ID)
+	}
 }
 
 // httpError carries a status code through handler plumbing.
@@ -260,7 +352,10 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+// writeErr renders an error response. The request's ID rides along in the
+// body (and in the X-Request-Id header set by the middleware), so a failure
+// a client reports is greppable in the server's logs.
+func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	var he *httpError
 	if errors.As(err, &he) {
@@ -268,7 +363,11 @@ func writeErr(w http.ResponseWriter, err error) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if id := obs.RequestID(r.Context()); id != "" {
+		body["request_id"] = id
+	}
+	json.NewEncoder(w).Encode(body)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -337,28 +436,29 @@ func modelInfo(m *Model, outcome Outcome) reduceResponse {
 func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	var key ModelKey
 	if err := s.decodeBody(w, r, &key); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	// Reject malformed keys (unknown benchmark, bad scale, degenerate
 	// moments/s0) as client errors before committing to a build.
 	if _, err := grid.Benchmark(key.Benchmark, key.Scale); err != nil {
-		writeErr(w, badRequest("%v", err))
+		writeErr(w, r, badRequest("%v", err))
 		return
 	}
 	if err := key.Validate(); err != nil {
-		writeErr(w, badRequest("%v", err))
+		writeErr(w, r, badRequest("%v", err))
 		return
 	}
 	m, outcome, err := s.repo.Get(key)
 	switch {
 	case errors.Is(err, ErrRepositoryFull):
-		writeErr(w, &httpError{code: http.StatusTooManyRequests, err: err})
+		writeErr(w, r, &httpError{code: http.StatusTooManyRequests, err: err})
 		return
 	case err != nil:
-		writeErr(w, err) // build/reduction failure: server-side, 500
+		writeErr(w, r, err) // build/reduction failure: server-side, 500
 		return
 	}
+	noteModel(r, m)
 	if outcome != OutcomeMemHit {
 		// The model just became resident (reduced or read from disk):
 		// pre-factor the standard sweep grid so the first sweeps are pure
@@ -382,22 +482,23 @@ type interpRequest struct {
 func (s *Server) handleInterp(w http.ResponseWriter, r *http.Request) {
 	var req interpRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	if s.cfg.DisableInterp {
-		writeErr(w, badRequest("Δ-scale interpolation is disabled on this server"))
+		writeErr(w, r, badRequest("Δ-scale interpolation is disabled on this server"))
 		return
 	}
 	if req.Tol < 0 {
-		writeErr(w, badRequest("tol must be ≥ 0, got %g", req.Tol))
+		writeErr(w, r, badRequest("tol must be ≥ 0, got %g", req.Tol))
 		return
 	}
 	m, outcome, err := s.resolveModel("", req.ModelKey, req.Tol)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, m)
 	writeJSON(w, modelInfo(m, outcome))
 }
 
@@ -466,35 +567,36 @@ type evalMatrix struct {
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	var req evalRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	m, _, err := s.resolveModel(req.Model, req.ModelKey, 0)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, m)
 	if len(req.Omegas) == 0 || len(req.Omegas) > s.cfg.MaxSweepPoints {
-		writeErr(w, badRequest("omegas must have 1..%d entries, got %d", s.cfg.MaxSweepPoints, len(req.Omegas)))
+		writeErr(w, r, badRequest("omegas must have 1..%d entries, got %d", s.cfg.MaxSweepPoints, len(req.Omegas)))
 		return
 	}
 	// Budget the response by total entries, not frequency count: each
 	// frequency returns a full p×m matrix, which for many-port models
 	// dominates the request size.
 	if total := len(req.Omegas) * m.Outputs * m.Ports; total > s.cfg.MaxEvalEntries {
-		writeErr(w, badRequest("%d omegas × %d×%d matrix = %d entries exceeds limit %d; request fewer frequencies",
+		writeErr(w, r, badRequest("%d omegas × %d×%d matrix = %d entries exceeds limit %d; request fewer frequencies",
 			len(req.Omegas), m.Outputs, m.Ports, total, s.cfg.MaxEvalEntries))
 		return
 	}
 	for _, omega := range req.Omegas {
 		if omega <= 0 {
-			writeErr(w, badRequest("omegas must be positive, got %g", omega))
+			writeErr(w, r, badRequest("omegas must be positive, got %g", omega))
 			return
 		}
 	}
 	mats, err := s.ev.EvalBatch(r.Context(), m, req.Omegas)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	resp := evalResponse{Model: m.ID, Points: make([]evalMatrix, len(mats))}
@@ -536,14 +638,15 @@ type sweepRequest struct {
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req sweepRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	m, _, err := s.resolveModel(req.Model, req.ModelKey, 0)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, m)
 	// Zero range/points select the standard grid — the one the cache warmer
 	// pre-factored, so defaulted sweeps skip every factorization.
 	if req.WMin == 0 {
@@ -556,20 +659,20 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		req.Points = DefaultSweepPoints
 	}
 	if req.Points > s.cfg.MaxSweepPoints {
-		writeErr(w, badRequest("points %d exceeds limit %d", req.Points, s.cfg.MaxSweepPoints))
+		writeErr(w, r, badRequest("points %d exceeds limit %d", req.Points, s.cfg.MaxSweepPoints))
 		return
 	}
 	if len(req.Entries) > 0 {
 		// Batched multi-entry sweep: budget by total returned values, like
 		// /eval, since entries × points is what sizes the response.
 		if total := len(req.Entries) * req.Points; total > s.cfg.MaxEvalEntries {
-			writeErr(w, badRequest("%d entries × %d points = %d values exceeds limit %d",
+			writeErr(w, r, badRequest("%d entries × %d points = %d values exceeds limit %d",
 				len(req.Entries), req.Points, total, s.cfg.MaxEvalEntries))
 			return
 		}
 		sweeps, err := s.ev.SweepEntries(r.Context(), m, req.Entries, req.WMin, req.WMax, req.Points)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		switch strings.ToLower(req.Format) {
@@ -578,7 +681,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		case "ndjson":
 			streamNDJSON(w, len(sweeps), func(enc *json.Encoder, i int) error { return enc.Encode(sweeps[i]) })
 		default:
-			writeErr(w, badRequest("unknown format %q (want json or ndjson)", req.Format))
+			writeErr(w, r, badRequest("unknown format %q (want json or ndjson)", req.Format))
 		}
 		return
 	}
@@ -586,7 +689,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	// failures, which surface as 500.
 	pts, err := s.ev.Sweep(r.Context(), m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	switch strings.ToLower(req.Format) {
@@ -595,7 +698,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	case "ndjson":
 		streamNDJSON(w, len(pts), func(enc *json.Encoder, i int) error { return enc.Encode(pts[i]) })
 	default:
-		writeErr(w, badRequest("unknown format %q (want json or ndjson)", req.Format))
+		writeErr(w, r, badRequest("unknown format %q (want json or ndjson)", req.Format))
 	}
 }
 
@@ -698,37 +801,38 @@ type transientRow struct {
 func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 	var req transientRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	m, err := s.lookupModel(req.Model)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, m)
 	input, err := buildInput(&req.Input, req.Ports, m.Ports)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	method, err := parseMethod(req.Method)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	if req.Dt <= 0 || req.T <= 0 {
-		writeErr(w, badRequest("dt and t must be positive, got %g, %g", req.Dt, req.T))
+		writeErr(w, r, badRequest("dt and t must be positive, got %g, %g", req.Dt, req.T))
 		return
 	}
 	if req.T/req.Dt > float64(s.cfg.MaxSweepPoints) {
-		writeErr(w, badRequest("step count %g exceeds limit %d", req.T/req.Dt, s.cfg.MaxSweepPoints))
+		writeErr(w, r, badRequest("step count %g exceeds limit %d", req.T/req.Dt, s.cfg.MaxSweepPoints))
 		return
 	}
 	res, err := s.ev.Transient(r.Context(), m, sim.TransientOptions{
 		Method: method, Dt: req.Dt, T: req.T, Input: input,
 	})
 	if err != nil {
-		writeErr(w, err) // inputs were validated above: integrator failure, 500
+		writeErr(w, r, err) // inputs were validated above: integrator failure, 500
 		return
 	}
 	switch strings.ToLower(req.Format) {
@@ -739,7 +843,7 @@ func (s *Server) handleTransient(w http.ResponseWriter, r *http.Request) {
 			return enc.Encode(transientRow{T: res.T[i], Y: res.Y[i]})
 		})
 	default:
-		writeErr(w, badRequest("unknown format %q (want json or ndjson)", req.Format))
+		writeErr(w, r, badRequest("unknown format %q (want json or ndjson)", req.Format))
 	}
 }
 
@@ -752,9 +856,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out)
 }
 
+// handleHealthz reports liveness plus readiness: while the store preload is
+// still running, or once a shutdown drain has begun, it answers 503 with the
+// reason so a health-aware router takes the replica out of rotation. The
+// subsystem stats ride under a "stats" key in both states.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{
-		"status":     "ok",
+	stats := map[string]any{
 		"uptime_s":   time.Since(s.start).Seconds(),
 		"models":     len(s.repo.Models()),
 		"cache":      s.CacheStats(),
@@ -764,7 +871,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"goroutines": runtime.NumGoroutine(),
 	}
 	if s.cfg.Store != nil {
-		resp["store"] = s.cfg.Store.Stats()
+		stats["store"] = s.cfg.Store.Stats()
 	}
-	writeJSON(w, resp)
+	if reason := s.notReady.Load(); reason != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "unavailable", "reason": *reason, "stats": stats,
+		})
+		return
+	}
+	writeJSON(w, map[string]any{"status": "ok", "stats": stats})
 }

@@ -213,13 +213,17 @@ func TestModelsAndHealthz(t *testing.T) {
 	if health["status"] != "ok" {
 		t.Fatalf("healthz status = %v", health["status"])
 	}
-	cache, _ := health["cache"].(map[string]any)
+	stats, _ := health["stats"].(map[string]any)
+	if stats == nil {
+		t.Fatalf("healthz stats payload missing: %v", health)
+	}
+	cache, _ := stats["cache"].(map[string]any)
 	if cache == nil {
-		t.Fatalf("healthz cache stats missing: %v", health["cache"])
+		t.Fatalf("healthz cache stats missing: %v", stats["cache"])
 	}
 	// The sweep above rode the modal fast path; the stats must say so.
 	if cache["modal_evals"].(float64) < 1 {
-		t.Fatalf("healthz reports no modal evaluations: %v", health["cache"])
+		t.Fatalf("healthz reports no modal evaluations: %v", stats["cache"])
 	}
 }
 

@@ -353,32 +353,33 @@ func (s *Server) sessionInfo(sess *Session) sessionInfo {
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var req sessionCreateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	// Refuse at the bound before resolving the model: resolution may cost a
 	// full reduction, and a denied request should be O(1), not O(reduce).
 	if err := s.sessions.CheckCapacity(); err != nil {
-		writeErr(w, &httpError{code: http.StatusTooManyRequests, err: err})
+		writeErr(w, r, &httpError{code: http.StatusTooManyRequests, err: err})
 		return
 	}
 	m, _, err := s.resolveModel(req.Model, req.ModelKey, 0)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, m)
 	method, err := parseMethod(req.Method)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	if req.Dt <= 0 {
-		writeErr(w, badRequest("dt must be positive, got %g", req.Dt))
+		writeErr(w, r, badRequest("dt must be positive, got %g", req.Dt))
 		return
 	}
 	st, err := s.ev.Stepper(m, method, req.Dt)
 	if err != nil {
-		writeErr(w, err) // integrator pencil failure: server-side, 500
+		writeErr(w, r, err) // integrator pencil failure: server-side, 500
 		return
 	}
 	sess, err := s.sessions.Create(m, st, req.Dt, method)
@@ -386,7 +387,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, ErrSessionLimit) {
 			err = &httpError{code: http.StatusTooManyRequests, err: err}
 		}
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	writeJSON(w, s.sessionInfo(sess))
@@ -403,16 +404,17 @@ func (s *Server) lookupSession(id string) (*Session, error) {
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.lookupSession(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, sess.model)
 	writeJSON(w, s.sessionInfo(sess))
 }
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.sessions.Delete(id) {
-		writeErr(w, &httpError{code: http.StatusNotFound, err: fmt.Errorf("%w: %q", errSessionGone, id)})
+		writeErr(w, r, &httpError{code: http.StatusNotFound, err: fmt.Errorf("%w: %q", errSessionGone, id)})
 		return
 	}
 	writeJSON(w, map[string]string{"deleted": id})
@@ -428,34 +430,37 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.lookupSession(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
+	noteModel(r, sess.model)
+	t0 := time.Now()
+	defer func() { s.metrics.advance(t0) }()
 	var req sessionAdvanceRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	if req.Steps < 1 || req.Steps > s.cfg.MaxSweepPoints {
-		writeErr(w, badRequest("steps must be in 1..%d, got %d", s.cfg.MaxSweepPoints, req.Steps))
+		writeErr(w, r, badRequest("steps must be in 1..%d, got %d", s.cfg.MaxSweepPoints, req.Steps))
 		return
 	}
 	input, err := buildInput(&req.Input, req.Ports, sess.model.Ports)
 	if err != nil {
-		writeErr(w, err)
+		writeErr(w, r, err)
 		return
 	}
 	// One advance at a time per session: a second concurrent advance would
 	// interleave two drives on one integrator. Reject instead of queueing so
 	// a stuck client cannot pile up blocked handlers.
 	if !sess.mu.TryLock() {
-		writeErr(w, &httpError{code: http.StatusConflict,
+		writeErr(w, r, &httpError{code: http.StatusConflict,
 			err: fmt.Errorf("serve: session %s has an advance in flight", sess.ID)})
 		return
 	}
 	defer sess.mu.Unlock()
 	if sess.closed.Load() {
-		writeErr(w, &httpError{code: http.StatusNotFound, err: fmt.Errorf("%w: %q", errSessionGone, sess.ID)})
+		writeErr(w, r, &httpError{code: http.StatusNotFound, err: fmt.Errorf("%w: %q", errSessionGone, sess.ID)})
 		return
 	}
 
@@ -499,7 +504,7 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 	if !sess.emitted0 {
 		y0, err := sess.stepper.Output(input)
 		if err != nil {
-			writeErr(w, err)
+			writeErr(w, r, err)
 			return
 		}
 		if !writeRow(sess.stepper.Time(), y0) {
