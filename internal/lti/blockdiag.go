@@ -225,7 +225,7 @@ func (f *BlockDiagFactors) EvalInto(h *dense.Mat[complex128], scratch []complex1
 	for i := range h.Data {
 		h.Data[i] = 0
 	}
-	ctrFactoredEvals.Add(1)
+	ctrFactoredEvals.Add(int64(len(f.blocks)))
 	for i := range f.blocks {
 		if err := f.blocks[i].addMatColumn(h, f.blocks[i].input, scratch); err != nil {
 			return err
@@ -260,7 +260,7 @@ func (f *BlockDiagFactors) EvalColumnInto(dst, scratch []complex128, j int) erro
 	for r := range dst {
 		dst[r] = 0
 	}
-	ctrFactoredEvals.Add(1)
+	var evaluated int64
 	for i := range f.blocks {
 		if f.blocks[i].input != j {
 			continue
@@ -268,6 +268,10 @@ func (f *BlockDiagFactors) EvalColumnInto(dst, scratch []complex128, j int) erro
 		if err := f.blocks[i].columnInto(dst, scratch); err != nil {
 			return err
 		}
+		evaluated++
+	}
+	if evaluated > 0 {
+		ctrFactoredEvals.Add(evaluated)
 	}
 	return nil
 }

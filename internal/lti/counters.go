@@ -2,11 +2,18 @@ package lti
 
 import "sync/atomic"
 
-// Package-wide evaluation telemetry. The counters are single atomic adds on
+// Package-wide evaluation telemetry. The counters are batched atomic adds on
 // paths that each do at least O(l²) arithmetic, so the overhead is noise;
 // they exist so benchmarks (cmd/pgbench -exp perf) and operators can see how
 // much work the modal fast path removes — pencil factorizations performed,
 // and evaluations served modally versus through LU factors.
+//
+// The unit of ModalEvals and FactoredEvals is one (block, frequency)
+// evaluation, attributed to the path that actually served it. A partially
+// modal model therefore splits a single column evaluation across both
+// counters — the modal blocks count as modal evals, the LU-fallback blocks as
+// factored evals — and the two always sum exactly to the number of block
+// evaluations performed.
 var (
 	ctrFactorizations atomic.Int64
 	ctrFactoredEvals  atomic.Int64
@@ -18,8 +25,11 @@ type EvalCounters struct {
 	// Factorizations counts block pencil LU factorizations (the O(l³)
 	// step the modal form eliminates).
 	Factorizations int64 `json:"factorizations"`
-	// FactoredEvals counts evaluations through LU factors (cached or
-	// one-shot); ModalEvals counts evaluations through pole–residue forms.
+	// FactoredEvals counts per-(block, frequency) evaluations through LU
+	// factors (cached or one-shot); ModalEvals counts per-(block, frequency)
+	// evaluations through pole–residue forms. Each block is attributed to
+	// the path that actually evaluated it, so the two sum exactly to the
+	// block evaluations performed even on partially modal models.
 	FactoredEvals int64 `json:"factored_evals"`
 	ModalEvals    int64 `json:"modal_evals"`
 }

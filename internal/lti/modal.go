@@ -424,7 +424,7 @@ func (ms *ModalSystem) EvalColumnInto(dst []complex128, s complex128, j int) err
 	for r := range dst {
 		dst[r] = 0
 	}
-	ctrModalEvals.Add(1)
+	var modalBlocks int64
 	for i := range ms.Blocks {
 		mb := &ms.Blocks[i]
 		if mb.Input != j {
@@ -432,17 +432,24 @@ func (ms *ModalSystem) EvalColumnInto(dst []complex128, s complex128, j int) err
 		}
 		if mb.Modal {
 			mb.accumulateColumn(dst, s)
+			modalBlocks++
 			continue
 		}
 		if err := ms.fallbackColumn(dst, i, s); err != nil {
 			return err
 		}
 	}
+	if modalBlocks > 0 {
+		ctrModalEvals.Add(modalBlocks)
+	}
 	return nil
 }
 
 // fallbackColumn adds block i's column at s into dst through a one-shot LU.
+// It counts as one factored (block, frequency) evaluation — the serving-path
+// telemetry for blocks the diagonalization could not cover.
 func (ms *ModalSystem) fallbackColumn(dst []complex128, i int, s complex128) error {
+	ctrFactoredEvals.Add(1)
 	bf, err := factorBlock(&ms.BD.Blocks[i], s)
 	if err != nil {
 		return fmt.Errorf("lti: modal fallback block %d: %w", i, err)
@@ -470,7 +477,7 @@ func (ms *ModalSystem) EvalColumn(s complex128, j int) ([]complex128, error) {
 func (ms *ModalSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
 	h := dense.NewMat[complex128](ms.BD.P, ms.BD.M)
 	col := make([]complex128, ms.BD.P)
-	ctrModalEvals.Add(1)
+	var modalBlocks int64
 	for i := range ms.Blocks {
 		mb := &ms.Blocks[i]
 		for r := range col {
@@ -478,6 +485,7 @@ func (ms *ModalSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
 		}
 		if mb.Modal {
 			mb.accumulateColumn(col, s)
+			modalBlocks++
 		} else if err := ms.fallbackColumn(col, i, s); err != nil {
 			return nil, err
 		}
@@ -485,6 +493,9 @@ func (ms *ModalSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
 		for r := 0; r < h.Rows; r++ {
 			h.Set(r, j, h.At(r, j)+col[r])
 		}
+	}
+	if modalBlocks > 0 {
+		ctrModalEvals.Add(modalBlocks)
 	}
 	return h, nil
 }
@@ -503,7 +514,7 @@ func (ms *ModalSystem) SweepEntryInto(dst []complex128, row, col int, omegas []f
 	for k := range dst {
 		dst[k] = 0
 	}
-	ctrModalEvals.Add(int64(len(omegas)))
+	var modalBlocks int64
 	var scratch []complex128 // lazily sized; only fallback blocks need it
 	for i := range ms.Blocks {
 		mb := &ms.Blocks[i]
@@ -511,6 +522,7 @@ func (ms *ModalSystem) SweepEntryInto(dst []complex128, row, col int, omegas []f
 			continue
 		}
 		if mb.Modal {
+			modalBlocks++
 			for k := range mb.Poles {
 				lam := mb.Poles[k]
 				r := mb.R.At(k, row)
@@ -538,6 +550,9 @@ func (ms *ModalSystem) SweepEntryInto(dst []complex128, row, col int, omegas []f
 			}
 			dst[w] += scratch[row]
 		}
+	}
+	if modalBlocks > 0 {
+		ctrModalEvals.Add(modalBlocks * int64(len(omegas)))
 	}
 	return nil
 }

@@ -1,0 +1,263 @@
+package lti
+
+import "fmt"
+
+// ModalPacked is a structure-of-arrays packing of a ModalSystem, built for
+// batched evaluation. The AoS []ModalBlock layout is right for constructing
+// and validating the modal form, but a batched kernel — many transfer-matrix
+// entries × many frequencies, or one model at many s-points — wants the pole
+// and residue data of each input column contiguous, so one pole-major pass
+// streams straight through memory and the expensive per-(pole, frequency)
+// complex reciprocal is computed once and shared by every entry reading that
+// column.
+//
+// Per input column the packing holds the concatenated poles of every modal
+// block driven by that input (in block order), the residues twice — pole-major
+// (res[k·p+r], the layout EvalColumnsInto streams) and entry-major
+// (resT[r·q+k], the layout SweepEntriesInto streams) — the block direct terms
+// summed into one vector, and the indices of fallback (non-modal) blocks,
+// which batched kernels still evaluate per frequency through a one-shot LU.
+// The duplication costs 2× the residue bytes of the source modal form, which
+// is a few kilobytes per model — nothing next to the ROM itself.
+//
+// A ModalPacked is immutable after construction and safe for concurrent use.
+type ModalPacked struct {
+	ms   *ModalSystem
+	m, p int
+	cols []packedColumn
+	// fullyModal reports no column carries a fallback block: every batched
+	// kernel call is then factorization-free.
+	fullyModal bool
+}
+
+// packedColumn is the SoA modal data of one input column.
+type packedColumn struct {
+	poles []complex128 // q' concatenated finite poles, block order
+	res   []complex128 // pole-major residues: res[k*p+r]
+	resT  []complex128 // entry-major residues: resT[r*q'+k]
+	d     []complex128 // summed direct term (length p), nil when absent
+	// fallback indexes the source blocks on this column without a modal
+	// form.
+	fallback []int
+}
+
+// Pack builds the structure-of-arrays form of the modal system. The source
+// system is shared, not copied; fallback blocks keep evaluating through it.
+func (ms *ModalSystem) Pack() *ModalPacked {
+	_, m, p := ms.Dims()
+	mp := &ModalPacked{ms: ms, m: m, p: p, cols: make([]packedColumn, m), fullyModal: true}
+	for j := 0; j < m; j++ {
+		q := 0
+		for i := range ms.Blocks {
+			if mb := &ms.Blocks[i]; mb.Input == j && mb.Modal {
+				q += len(mb.Poles)
+			}
+		}
+		pc := &mp.cols[j]
+		pc.poles = make([]complex128, 0, q)
+		pc.res = make([]complex128, 0, q*p)
+		for i := range ms.Blocks {
+			mb := &ms.Blocks[i]
+			if mb.Input != j {
+				continue
+			}
+			if !mb.Modal {
+				pc.fallback = append(pc.fallback, i)
+				mp.fullyModal = false
+				continue
+			}
+			pc.poles = append(pc.poles, mb.Poles...)
+			for k := range mb.Poles {
+				pc.res = append(pc.res, mb.R.Row(k)...)
+			}
+			if mb.D != nil {
+				if pc.d == nil {
+					pc.d = make([]complex128, p)
+				}
+				for r, dv := range mb.D {
+					pc.d[r] += dv
+				}
+			}
+		}
+		pc.resT = make([]complex128, q*p)
+		for k := 0; k < q; k++ {
+			for r := 0; r < p; r++ {
+				pc.resT[r*q+k] = pc.res[k*p+r]
+			}
+		}
+	}
+	return mp
+}
+
+// Dims returns (Σ block orders, M, P) of the source system.
+func (mp *ModalPacked) Dims() (n, m, p int) { return mp.ms.Dims() }
+
+// FullyModal reports whether every block of every column carries a modal
+// form — batched kernels then perform zero factorizations.
+func (mp *ModalPacked) FullyModal() bool { return mp.fullyModal }
+
+// MemBytes estimates the memory retained by the packed data (the source
+// system is shared, not counted).
+func (mp *ModalPacked) MemBytes() int64 {
+	var n int64
+	for j := range mp.cols {
+		pc := &mp.cols[j]
+		n += 16 * int64(len(pc.poles)+len(pc.res)+len(pc.resT)+len(pc.d))
+		n += 8 * int64(len(pc.fallback))
+	}
+	return n
+}
+
+// SweepEntriesInto evaluates H[row][col](jωₖ) for every requested (row, col)
+// entry over one shared frequency grid, into dst laid out entry-major:
+// dst[e·len(omegas)+k] is entry e at ωₖ. Entries are (row, col) pairs.
+//
+// The kernel makes one pole-major pass per column: each pole's reciprocal
+// denominators 1/(jωₖ−λ) are computed once — the division is the expensive
+// part of a residue evaluation — and reused by every entry reading that
+// column, so e entries on one column cost one division pass plus e
+// multiply-accumulate passes instead of e division passes. Fallback blocks
+// pay one LU per frequency, shared across the entries of their column.
+//
+// Telemetry counts the work actually performed: each modal block contributes
+// len(omegas) modal evals once per call no matter how many entries share it —
+// the batching win made visible — and each fallback block len(omegas)
+// factored evals.
+func (mp *ModalPacked) SweepEntriesInto(dst []complex128, entries [][2]int, omegas []float64) error {
+	nw := len(omegas)
+	if len(dst) != len(entries)*nw {
+		return fmt.Errorf("lti: packed sweep dst length %d, want %d entries × %d freqs = %d",
+			len(dst), len(entries), nw, len(entries)*nw)
+	}
+	for _, e := range entries {
+		if e[0] < 0 || e[0] >= mp.p || e[1] < 0 || e[1] >= mp.m {
+			return fmt.Errorf("lti: entry (%d,%d) out of range %d×%d", e[0], e[1], mp.p, mp.m)
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if nw == 0 || len(entries) == 0 {
+		return nil
+	}
+	// Group entry indices by column so each column's pole data is walked
+	// exactly once.
+	byCol := make(map[int][]int, len(entries))
+	for i, e := range entries {
+		byCol[e[1]] = append(byCol[e[1]], i)
+	}
+	recip := make([]complex128, nw)
+	var colBuf []complex128 // lazily sized; only fallback blocks need it
+	var modalEvals int64
+	for col, idxs := range byCol {
+		pc := &mp.cols[col]
+		q := len(pc.poles)
+		for k := 0; k < q; k++ {
+			lam := pc.poles[k]
+			for w, omega := range omegas {
+				recip[w] = 1 / (complex(0, omega) - lam)
+			}
+			for _, e := range idxs {
+				r := pc.resT[entries[e][0]*q+k]
+				out := dst[e*nw : (e+1)*nw]
+				for w := range out {
+					out[w] += r * recip[w]
+				}
+			}
+		}
+		if pc.d != nil {
+			for _, e := range idxs {
+				dv := pc.d[entries[e][0]]
+				out := dst[e*nw : (e+1)*nw]
+				for w := range out {
+					out[w] += dv
+				}
+			}
+		}
+		if modalBlocks := mp.modalBlocksOn(col); modalBlocks > 0 {
+			modalEvals += int64(modalBlocks) * int64(nw)
+		}
+		for _, bi := range pc.fallback {
+			if colBuf == nil {
+				colBuf = make([]complex128, mp.p)
+			}
+			for w, omega := range omegas {
+				for r := range colBuf {
+					colBuf[r] = 0
+				}
+				if err := mp.ms.fallbackColumn(colBuf, bi, complex(0, omega)); err != nil {
+					return err
+				}
+				for _, e := range idxs {
+					dst[e*nw+w] += colBuf[entries[e][0]]
+				}
+			}
+		}
+	}
+	if modalEvals > 0 {
+		ctrModalEvals.Add(modalEvals)
+	}
+	return nil
+}
+
+// modalBlocksOn counts the modal blocks driven by input col.
+func (mp *ModalPacked) modalBlocksOn(col int) int {
+	n := 0
+	for i := range mp.ms.Blocks {
+		if mb := &mp.ms.Blocks[i]; mb.Input == col && mb.Modal {
+			n++
+		}
+	}
+	return n
+}
+
+// EvalColumnsInto evaluates column col of H at every requested s-point into
+// dst laid out point-major: dst[k·P+r] is output r at svals[k]. One
+// pole-major pass streams each residue row once across all s-points, so the
+// per-pole data is loaded O(1) times instead of O(len(svals)) times.
+func (mp *ModalPacked) EvalColumnsInto(dst []complex128, col int, svals []complex128) error {
+	if col < 0 || col >= mp.m {
+		return fmt.Errorf("lti: column %d out of range %d", col, mp.m)
+	}
+	if len(dst) != len(svals)*mp.p {
+		return fmt.Errorf("lti: packed column-batch dst length %d, want %d points × %d outputs = %d",
+			len(dst), len(svals), mp.p, len(svals)*mp.p)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(svals) == 0 {
+		return nil
+	}
+	pc := &mp.cols[col]
+	p := mp.p
+	for k, lam := range pc.poles {
+		row := pc.res[k*p : (k+1)*p]
+		for si, s := range svals {
+			c := 1 / (s - lam)
+			out := dst[si*p : (si+1)*p]
+			for r := range out {
+				out[r] += c * row[r]
+			}
+		}
+	}
+	if pc.d != nil {
+		for si := range svals {
+			out := dst[si*p : (si+1)*p]
+			for r, dv := range pc.d {
+				out[r] += dv
+			}
+		}
+	}
+	if modalBlocks := mp.modalBlocksOn(col); modalBlocks > 0 {
+		ctrModalEvals.Add(int64(modalBlocks) * int64(len(svals)))
+	}
+	for _, bi := range pc.fallback {
+		for si, s := range svals {
+			if err := mp.ms.fallbackColumn(dst[si*p:(si+1)*p], bi, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+package lti
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+// packedSystems returns the fixture systems the batched kernels must agree
+// with the scalar paths on: the symmetric RC ROM, the non-symmetric golden
+// ROM, and a partially-modal variant with a forced fallback block.
+func packedSystems(t *testing.T) map[string]*ModalSystem {
+	t.Helper()
+	out := make(map[string]*ModalSystem)
+	for name, bd := range map[string]*BlockDiagSystem{
+		"rc":     rcBlockDiag(),
+		"golden": goldenBlockDiag(),
+	} {
+		ms, err := bd.Modalize()
+		if err != nil {
+			t.Fatalf("%s: Modalize: %v", name, err)
+		}
+		out[name] = ms
+	}
+	demoted, err := rcBlockDiag().Modalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	demoteBlock(demoted, 1)
+	out["rc-fallback"] = demoted
+	return out
+}
+
+func allEntries(m, p int) [][2]int {
+	var entries [][2]int
+	for r := 0; r < p; r++ {
+		for c := 0; c < m; c++ {
+			entries = append(entries, [2]int{r, c})
+		}
+	}
+	return entries
+}
+
+// TestPackedSweepMatchesScalar pins the batched sweep kernel against the
+// scalar per-entry sweep on every entry of every fixture — including the
+// fallback-forced model — to 1e-12. The kernels differ only in rounding
+// (shared reciprocal-then-multiply vs per-term division), so near machine
+// precision is required, not merely modeling accuracy.
+func TestPackedSweepMatchesScalar(t *testing.T) {
+	omegas := logOmegas(1e-2, 1e3, 29)
+	for name, ms := range packedSystems(t) {
+		mp := ms.Pack()
+		_, m, p := ms.Dims()
+		entries := allEntries(m, p)
+		dst := make([]complex128, len(entries)*len(omegas))
+		if err := mp.SweepEntriesInto(dst, entries, omegas); err != nil {
+			t.Fatalf("%s: SweepEntriesInto: %v", name, err)
+		}
+		want := make([]complex128, len(omegas))
+		for e, ent := range entries {
+			if err := ms.SweepEntryInto(want, ent[0], ent[1], omegas); err != nil {
+				t.Fatalf("%s: SweepEntryInto(%d,%d): %v", name, ent[0], ent[1], err)
+			}
+			got := dst[e*len(omegas) : (e+1)*len(omegas)]
+			for w := range want {
+				if d := cmplx.Abs(got[w] - want[w]); d > 1e-12*(1+cmplx.Abs(want[w])) {
+					t.Fatalf("%s: entry (%d,%d) ω=%g: packed %v vs scalar %v (|Δ| = %g)",
+						name, ent[0], ent[1], omegas[w], got[w], want[w], d)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedSweepSubsetAndDuplicates covers the shapes coalesced serving
+// produces: an arbitrary subset of entries, including the same entry
+// requested twice (two clients asking for the same sweep in one batch).
+func TestPackedSweepSubsetAndDuplicates(t *testing.T) {
+	ms := packedSystems(t)["rc-fallback"]
+	mp := ms.Pack()
+	omegas := logOmegas(1e-1, 1e2, 11)
+	entries := [][2]int{{1, 0}, {0, 1}, {1, 0}}
+	dst := make([]complex128, len(entries)*len(omegas))
+	if err := mp.SweepEntriesInto(dst, entries, omegas); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(omegas))
+	for e, ent := range entries {
+		if err := ms.SweepEntryInto(want, ent[0], ent[1], omegas); err != nil {
+			t.Fatal(err)
+		}
+		got := dst[e*len(omegas) : (e+1)*len(omegas)]
+		for w := range want {
+			if d := cmplx.Abs(got[w] - want[w]); d > 1e-12*(1+cmplx.Abs(want[w])) {
+				t.Fatalf("entry %d (%d,%d) ω=%g: packed %v vs scalar %v", e, ent[0], ent[1], omegas[w], got[w], want[w])
+			}
+		}
+	}
+	// Duplicate entries must come out bit-identical: same kernel pass, same
+	// accumulation order.
+	for w := 0; w < len(omegas); w++ {
+		if dst[0*len(omegas)+w] != dst[2*len(omegas)+w] {
+			t.Fatalf("duplicate entries disagree at ω index %d", w)
+		}
+	}
+}
+
+// TestPackedEvalColumnsMatchesScalar pins the s-point batch kernel against
+// per-point EvalColumnInto on every column, fixtures including fallback.
+func TestPackedEvalColumnsMatchesScalar(t *testing.T) {
+	for name, ms := range packedSystems(t) {
+		mp := ms.Pack()
+		_, m, p := ms.Dims()
+		svals := []complex128{complex(0, 0.01), complex(0, 3), complex(0.5, 40), complex(0, 900)}
+		dst := make([]complex128, len(svals)*p)
+		want := make([]complex128, p)
+		for col := 0; col < m; col++ {
+			if err := mp.EvalColumnsInto(dst, col, svals); err != nil {
+				t.Fatalf("%s: EvalColumnsInto(col %d): %v", name, col, err)
+			}
+			for si, s := range svals {
+				if err := ms.EvalColumnInto(want, s, col); err != nil {
+					t.Fatal(err)
+				}
+				got := dst[si*p : (si+1)*p]
+				for r := range want {
+					if d := cmplx.Abs(got[r] - want[r]); d > 1e-12*(1+cmplx.Abs(want[r])) {
+						t.Fatalf("%s: col %d s=%v row %d: packed %v vs scalar %v",
+							name, col, s, r, got[r], want[r])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedCounters pins the batched-kernel telemetry: modal work is counted
+// once per (block, frequency) no matter how many entries share the column,
+// and fallback blocks count factored evals per frequency.
+func TestPackedCounters(t *testing.T) {
+	ms := packedSystems(t)["rc-fallback"]
+	mp := ms.Pack()
+	if mp.FullyModal() {
+		t.Fatal("fallback fixture reports fully modal")
+	}
+	omegas := logOmegas(1e-1, 1e2, 7)
+	w := int64(len(omegas))
+
+	// Two entries on the modal column share one pole pass: W modal evals,
+	// not 2W — that is the batching win the counters must make visible.
+	entries := [][2]int{{0, 0}, {1, 0}}
+	dst := make([]complex128, len(entries)*len(omegas))
+	ResetCounters()
+	if err := mp.SweepEntriesInto(dst, entries, omegas); err != nil {
+		t.Fatal(err)
+	}
+	c := Counters()
+	if c.ModalEvals != w || c.FactoredEvals != 0 {
+		t.Errorf("shared modal column: (modal, factored) = (%d, %d), want (%d, 0)", c.ModalEvals, c.FactoredEvals, w)
+	}
+
+	// Two entries on the fallback column share one LU per frequency: W
+	// factored evals and W factorizations, not 2W.
+	entries = [][2]int{{0, 1}, {1, 1}}
+	ResetCounters()
+	if err := mp.SweepEntriesInto(dst, entries, omegas); err != nil {
+		t.Fatal(err)
+	}
+	c = Counters()
+	if c.ModalEvals != 0 || c.FactoredEvals != w {
+		t.Errorf("shared fallback column: (modal, factored) = (%d, %d), want (0, %d)", c.ModalEvals, c.FactoredEvals, w)
+	}
+	if c.Factorizations != w {
+		t.Errorf("shared fallback column: Factorizations = %d, want %d", c.Factorizations, w)
+	}
+
+	// Batched s-points on the modal column: one modal eval per point.
+	_, _, p := ms.Dims()
+	svals := []complex128{complex(0, 1), complex(0, 2), complex(0, 3)}
+	cdst := make([]complex128, len(svals)*p)
+	ResetCounters()
+	if err := mp.EvalColumnsInto(cdst, 0, svals); err != nil {
+		t.Fatal(err)
+	}
+	c = Counters()
+	if c.ModalEvals != int64(len(svals)) || c.FactoredEvals != 0 {
+		t.Errorf("batched modal column: (modal, factored) = (%d, %d), want (%d, 0)", c.ModalEvals, c.FactoredEvals, len(svals))
+	}
+
+	fully := packedSystems(t)["rc"].Pack()
+	if !fully.FullyModal() {
+		t.Error("fully modal fixture reports fallback blocks")
+	}
+	if fully.MemBytes() <= 0 {
+		t.Error("MemBytes reports nothing retained")
+	}
+}
+
+// TestPackedValidation covers the defensive paths: mis-sized destinations and
+// out-of-range entries or columns must error, empty batches are no-ops.
+func TestPackedValidation(t *testing.T) {
+	ms := packedSystems(t)["rc"]
+	mp := ms.Pack()
+	omegas := logOmegas(1e-1, 1e1, 3)
+	if err := mp.SweepEntriesInto(make([]complex128, 1), [][2]int{{0, 0}}, omegas); err == nil {
+		t.Error("short sweep dst accepted")
+	}
+	if err := mp.SweepEntriesInto(make([]complex128, len(omegas)), [][2]int{{0, 99}}, omegas); err == nil {
+		t.Error("out-of-range entry accepted")
+	}
+	if err := mp.SweepEntriesInto(make([]complex128, len(omegas)), [][2]int{{-1, 0}}, omegas); err == nil {
+		t.Error("negative row accepted")
+	}
+	if err := mp.SweepEntriesInto(nil, nil, omegas); err != nil {
+		t.Errorf("empty entry batch: %v", err)
+	}
+	if err := mp.EvalColumnsInto(make([]complex128, 1), 0, []complex128{1, 2}); err == nil {
+		t.Error("short column-batch dst accepted")
+	}
+	if err := mp.EvalColumnsInto(nil, 99, nil); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := mp.EvalColumnsInto(nil, 0, nil); err != nil {
+		t.Errorf("empty s-point batch: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dense"
 	"repro/internal/lti"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -48,8 +49,20 @@ type Evaluator struct {
 	factoredEvals atomic.Int64
 	canceled      atomic.Int64
 
+	// batchKernelCalls counts multi-entry sweeps served by one fused
+	// ModalPacked pass; batchEntriesObs, when instrumented, records how
+	// many entries each such call carried.
+	batchKernelCalls atomic.Int64
+	batchEntriesObs  *obs.Histogram
+
 	scratch sync.Pool // *evalScratch
 }
+
+// InstrumentBatch attaches the batched-kernel entry-count histogram.
+func (ev *Evaluator) InstrumentBatch(entries *obs.Histogram) { ev.batchEntriesObs = entries }
+
+// BatchKernelCalls reports how many fused multi-entry kernel calls ran.
+func (ev *Evaluator) BatchKernelCalls() int64 { return ev.batchKernelCalls.Load() }
 
 // evalScratch is the reusable per-task buffer set of the factored path:
 // col holds one output column (p), x one block solve (max block order).
@@ -152,7 +165,37 @@ func (ev *Evaluator) SweepEntries(ctx context.Context, m *Model, entries []Entry
 	}
 
 	if ms := ev.modalFor(m); ms != nil {
-		// One task per entry: each is a full vectorized pass over the grid.
+		if len(entries) > 1 && m.Packed != nil {
+			// Fused path: every entry in one pole-major kernel pass, as a
+			// single engine task. The per-pole reciprocal grid — the
+			// expensive part of a residue sweep — is computed once and
+			// shared by all entries on the same input column.
+			ents := make([][2]int, len(entries))
+			for i, e := range entries {
+				ents[i] = [2]int{e.Row, e.Col}
+			}
+			dst := make([]complex128, len(entries)*points)
+			err := ev.eng.MapCtx(ctx, 1, func(int) error {
+				return m.Packed.SweepEntriesInto(dst, ents, grid)
+			})
+			if err != nil {
+				return nil, ev.finish(ctx, err)
+			}
+			ev.batchKernelCalls.Add(1)
+			if ev.batchEntriesObs != nil {
+				ev.batchEntriesObs.Observe(float64(len(entries)))
+			}
+			for i := range entries {
+				for k, h := range dst[i*points : (i+1)*points] {
+					out[i].Points[k] = SweepPoint{Omega: grid[k], Re: real(h), Im: imag(h), Mag: cmplx.Abs(h)}
+				}
+			}
+			ev.modalEvals.Add(int64(len(entries) * points))
+			return out, nil
+		}
+		// Single entry: the scalar per-entry sweep divides directly instead
+		// of multiplying by a shared reciprocal — measurably faster when
+		// nothing shares the pass, so lone sweeps stay on it.
 		err := ev.eng.MapCtx(ctx, len(entries), func(i int) error {
 			dst := make([]complex128, points)
 			if err := ms.SweepEntryInto(dst, entries[i].Row, entries[i].Col, grid); err != nil {

@@ -329,6 +329,7 @@ func (r *Repository) interpolate(key ModelKey, scales []float64, lo, hi int, tol
 		Interp:      &info,
 		ROM:         ms.BD,
 		Modal:       ms,
+		Packed:      ms.Pack(),
 		GridKey:     cfg.Key(),
 	}
 	r.interpInsert(key, m)

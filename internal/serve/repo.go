@@ -144,6 +144,9 @@ type Model struct {
 	// modalization failed outright (evaluation then stays on the factored
 	// path).
 	Modal *lti.ModalSystem `json:"-"`
+	// Packed is the structure-of-arrays form of Modal, built once alongside
+	// it and used by the batched sweep kernel; nil whenever Modal is.
+	Packed *lti.ModalPacked `json:"-"`
 	// GridKey fingerprints the generated grid configuration.
 	GridKey string `json:"-"`
 }
@@ -461,6 +464,7 @@ func (r *Repository) loadFromStore(key ModelKey) *Model {
 	}
 	if modal != nil {
 		m.ModalBlocks, _ = modal.ModalCount()
+		m.Packed = modal.Pack()
 	}
 	if rediagonalized {
 		// Upgrade the stored file in place so the diagonalization is paid
@@ -710,6 +714,7 @@ func buildModel(key ModelKey, noModal bool, phase func(string, time.Duration)) (
 	}
 	if modal != nil {
 		mdl.ModalBlocks, _ = modal.ModalCount()
+		mdl.Packed = modal.Pack()
 	}
 	return mdl, nil
 }

@@ -118,6 +118,8 @@ type Server struct {
 	cache    *FactorCache
 	eng      *Engine
 	ev       *Evaluator
+	sweeps   *SweepCoalescer
+	advances *advanceCoalescer
 	sessions *SessionManager
 	cfg      Config
 	start    time.Time
@@ -155,6 +157,8 @@ func New(cfg Config) *Server {
 		s.log = slog.New(slog.DiscardHandler)
 	}
 	s.ev = NewEvaluator(s.eng, s.cache, !cfg.DisableModal)
+	s.sweeps = NewSweepCoalescer(s.ev)
+	s.advances = newAdvanceCoalescer(s.eng)
 	if !cfg.DisableMetrics {
 		s.reg = obs.NewRegistry()
 		s.metrics = newServerMetrics(s.reg, s)
@@ -670,7 +674,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 				len(req.Entries), req.Points, total, s.cfg.MaxEvalEntries))
 			return
 		}
-		sweeps, err := s.ev.SweepEntries(r.Context(), m, req.Entries, req.WMin, req.WMax, req.Points)
+		sweeps, err := s.sweeps.SweepEntries(r.Context(), m, req.Entries, req.WMin, req.WMax, req.Points)
 		if err != nil {
 			writeErr(w, r, err)
 			return
@@ -686,12 +690,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Sweep distinguishes validation errors (400) from evaluation
-	// failures, which surface as 500.
-	pts, err := s.ev.Sweep(r.Context(), m, req.Row, req.Col, req.WMin, req.WMax, req.Points)
+	// failures, which surface as 500. Single-entry sweeps also go through
+	// the coalescer: concurrent clients hitting the same model and grid
+	// merge into one batched kernel call.
+	sweeps, err := s.sweeps.SweepEntries(r.Context(), m, []Entry{{Row: req.Row, Col: req.Col}}, req.WMin, req.WMax, req.Points)
 	if err != nil {
 		writeErr(w, r, err)
 		return
 	}
+	pts := sweeps[0].Points
 	switch strings.ToLower(req.Format) {
 	case "", "json":
 		writeJSON(w, map[string]any{"model": m.ID, "points": pts})

@@ -537,15 +537,11 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 		if n > remaining {
 			n = remaining
 		}
-		var chunk *sim.Result
 		// Each chunk occupies one evaluation-pool slot, so total integration
 		// concurrency across sessions, sweeps, and transients stays bounded
-		// by the worker count.
-		err := s.eng.MapCtx(ctx, 1, func(int) error {
-			var err error
-			chunk, err = sess.stepper.Advance(n, input)
-			return err
-		})
+		// by the worker count. The coalescer fuses compatible chunks queued
+		// behind the same (model, dt, method) into one StepperGroup pass.
+		chunk, err := s.advances.Advance(ctx, sess.model, sess.dt, sess.method, sess.stepper, n, input)
 		if err != nil {
 			if ctx.Err() != nil {
 				s.sessions.canceledAdvances.Add(1)

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/lti"
+)
+
+// groupFixtures builds S steppers over ms plus S identically-configured
+// twins, each pair pre-advanced to its own step offset so the group members
+// sit at different session clocks.
+func groupFixtures(t *testing.T, ms *lti.ModalSystem, s int) (members, twins []*Stepper, inputs []Input) {
+	t.Helper()
+	for i := 0; i < s; i++ {
+		input := UniformInput(Sine{Amplitude: 1 + 0.1*float64(i), Freq: 0.25 + 0.5*float64(i%3)})
+		inputs = append(inputs, input)
+		a, err := NewStepper(ms, StepperOptions{Dt: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewStepper(ms, StepperOptions{Dt: 0.01})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off := 5 * (i % 4); off > 0 {
+			if _, err := a.Advance(off, input); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Advance(off, input); err != nil {
+				t.Fatal(err)
+			}
+		}
+		members = append(members, a)
+		twins = append(twins, b)
+	}
+	return members, twins, inputs
+}
+
+// TestStepperGroupBitIdentical: the fused multi-session advance must produce
+// rows bit-identical to each member advanced independently — distinct
+// waveforms, distinct session clocks, repeated chunks.
+func TestStepperGroupBitIdentical(t *testing.T) {
+	_, ms := modalTestSystem(t)
+	members, twins, inputs := groupFixtures(t, ms, 7)
+	g, err := NewStepperGroup(members, GroupOptions{})
+	if err != nil {
+		t.Fatalf("NewStepperGroup: %v", err)
+	}
+	if g.Size() != 7 {
+		t.Fatalf("Size = %d, want 7", g.Size())
+	}
+	for _, n := range []int{1, 13, 64} {
+		got, err := g.Advance(n, inputs)
+		if err != nil {
+			t.Fatalf("group Advance(%d): %v", n, err)
+		}
+		for s := range twins {
+			want, err := twins[s].Advance(n, inputs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, got[s], want, 0) // bit-exact
+			if members[s].Step() != twins[s].Step() {
+				t.Fatalf("member %d clock %d, independent %d", s, members[s].Step(), twins[s].Step())
+			}
+		}
+	}
+	// Members stay fully owned between group advances: an independent
+	// Advance after group advances continues the exact trajectory.
+	for s := range members {
+		got, err := members[s].Advance(9, inputs[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := twins[s].Advance(9, inputs[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, got, want, 0)
+	}
+}
+
+// TestStepperGroupImplicitBlocks: groups over implicit-rule steppers fuse
+// too (the per-session serial path), bit-identical as well.
+func TestStepperGroupImplicitBlocks(t *testing.T) {
+	bd, _ := modalTestSystem(t)
+	input := UniformInput(Pulse{Low: 0, High: 1, Delay: 0.05, Rise: 0.02, Fall: 0.02, Width: 0.2, Period: 0.5})
+	var members []*Stepper
+	var inputs []Input
+	for i := 0; i < 3; i++ {
+		st, err := NewImplicitStepper(bd, StepperOptions{Method: Trapezoidal, Dt: 0.005})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members = append(members, st)
+		inputs = append(inputs, input)
+	}
+	g, err := NewStepperGroup(members, GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Advance(40, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := NewImplicitStepper(bd, StepperOptions{Method: Trapezoidal, Dt: 0.005})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solo.Advance(40, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range got {
+		requireSameResult(t, got[s], want, 0)
+	}
+}
+
+// TestStepperGroupWorkers: sharding the sessions across persistent workers
+// changes nothing about the per-session arithmetic.
+func TestStepperGroupWorkers(t *testing.T) {
+	_, ms := modalTestSystem(t)
+	members, twins, inputs := groupFixtures(t, ms, 9)
+	g, err := NewStepperGroup(members, GroupOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for _, n := range []int{17, 17, 32} {
+		got, err := g.Advance(n, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := range twins {
+			want, err := twins[s].Advance(n, inputs[s])
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, got[s], want, 0)
+		}
+	}
+	g.Close()
+	g.Close() // idempotent
+}
+
+// TestStepperGroupValidation: incompatible or malformed memberships are
+// rejected at construction, bad advances at call time.
+func TestStepperGroupValidation(t *testing.T) {
+	bd, ms := modalTestSystem(t)
+	mk := func(dt float64) *Stepper {
+		st, err := NewStepper(ms, StepperOptions{Dt: dt})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	if _, err := NewStepperGroup(nil, GroupOptions{}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewStepperGroup([]*Stepper{mk(0.01), nil}, GroupOptions{}); err == nil {
+		t.Error("nil member accepted")
+	}
+	st := mk(0.01)
+	if _, err := NewStepperGroup([]*Stepper{st, st}, GroupOptions{}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if _, err := NewStepperGroup([]*Stepper{mk(0.01), mk(0.02)}, GroupOptions{}); err == nil {
+		t.Error("mismatched dt accepted")
+	}
+	other, err := bd.Modalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stOther, err := NewStepper(other, StepperOptions{Dt: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStepperGroup([]*Stepper{mk(0.01), stOther}, GroupOptions{}); err == nil {
+		t.Error("member over a different modal instance accepted")
+	}
+	imp, err := NewImplicitStepper(bd, StepperOptions{Dt: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewStepperGroup([]*Stepper{mk(0.01), imp}, GroupOptions{}); err == nil {
+		t.Error("mixed modal/implicit block kinds accepted")
+	}
+
+	g, err := NewStepperGroup([]*Stepper{mk(0.01), mk(0.01)}, GroupOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := UniformInput(DC(1))
+	if _, err := g.Advance(-1, []Input{input, input}); err == nil {
+		t.Error("negative step count accepted")
+	}
+	if _, err := g.Advance(1, []Input{input}); err == nil {
+		t.Error("short input slice accepted")
+	}
+	if _, err := g.Advance(1, []Input{input, nil}); err == nil {
+		t.Error("nil input accepted")
+	}
+	if res, err := g.Advance(0, []Input{input, input}); err != nil || len(res) != 2 || len(res[0].T) != 0 {
+		t.Errorf("Advance(0) = %v, %v", res, err)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+// Fused-group inner kernels over structure-of-arrays session state. The
+// group advance splits the per-mode coordinates, drives, and residues into
+// separate real/imaginary float64 arrays so the innermost loops stream
+// contiguous same-type data across sessions — the layout SIMD wants.
+//
+// Numerical contract: every kernel performs, per session lane, exactly the
+// multiply/add/subtract sequence written in the Go reference below — the
+// same operation order the scalar Stepper uses per step — so fused results
+// equal independent-advance results (the amd64 assembly versions use only
+// per-lane IEEE mul/add/sub, never FMA contraction, for the same reason).
+// Dropping a complex-arithmetic identity like x−0·w = x can flip the sign
+// of an exact zero but never changes a value, which is why the group's
+// equivalence tests compare values, not bit patterns.
+
+// axpyRealRef: y[i] += zr[i]*a - zi[i]*c — the real part of accumulating
+// residue·z across one mode row, sessions innermost.
+func axpyRealRef(y, zr, zi []float64, a, c float64) {
+	zr = zr[:len(y)]
+	zi = zi[:len(y)]
+	for i := range y {
+		y[i] += zr[i]*a - zi[i]*c
+	}
+}
+
+// accumBlockRef accumulates one modal block's residue contributions into the
+// row-major output batch: for every mode k and output row r,
+// yb[r*ns+s] += zr[k*ns+s]*rr[k*p+r] - zi[k*ns+s]*ri[k*p+r]. Equivalent to
+// p×q axpyReal calls; the fused form exists so the assembly version pays one
+// call and one bounds check per block instead of per (mode, row).
+func accumBlockRef(yb, zr, zi, rr, ri []float64, q, p, ns int) {
+	for k := 0; k < q; k++ {
+		zrk := zr[k*ns : (k+1)*ns]
+		zik := zi[k*ns : (k+1)*ns]
+		for r := 0; r < p; r++ {
+			axpyRealRef(yb[r*ns:(r+1)*ns], zrk, zik, rr[k*p+r], ri[k*p+r])
+		}
+	}
+}
+
+// stepModesRef advances one mode across all sessions:
+//
+//	zr' = er*zr − ei*zi + u0*f0r + u1*f1r
+//	zi' = er*zi + ei*zr + u0*f0i + u1*f1i
+//
+// — the split form of z' = e^{λh}·z + cu0·fNow + cu1·fNxt with real-valued
+// drives, accumulated strictly left to right.
+func stepModesRef(zr, zi, u0, u1 []float64, er, ei, f0r, f0i, f1r, f1i float64) {
+	zi = zi[:len(zr)]
+	u0 = u0[:len(zr)]
+	u1 = u1[:len(zr)]
+	for i := range zr {
+		a, b := zr[i], zi[i]
+		tr := er*a - ei*b
+		tr += u0[i] * f0r
+		tr += u1[i] * f1r
+		ti := er*b + ei*a
+		ti += u0[i] * f0i
+		ti += u1[i] * f1i
+		zr[i] = tr
+		zi[i] = ti
+	}
+}

@@ -1,0 +1,15 @@
+//go:build !amd64 || purego
+
+package sim
+
+func axpyReal(y, zr, zi []float64, a, c float64) {
+	axpyRealRef(y, zr, zi, a, c)
+}
+
+func stepModes(zr, zi, u0, u1 []float64, er, ei, f0r, f0i, f1r, f1i float64) {
+	stepModesRef(zr, zi, u0, u1, er, ei, f0r, f0i, f1r, f1i)
+}
+
+func accumBlock(yb, zr, zi, rr, ri []float64, q, p, ns int) {
+	accumBlockRef(yb, zr, zi, rr, ri, q, p, ns)
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/lti"
@@ -45,6 +46,10 @@ type Stepper struct {
 	k           int // current step index; time = k·h
 	m, p        int
 	workers     int
+	// shards holds the persistent worker goroutines when workers > 1,
+	// created lazily on the first sharded step. nil in the common
+	// single-worker case, which spawns no goroutines at all.
+	shards *shardWorkers
 }
 
 func (o *StepperOptions) validate() error {
@@ -139,10 +144,12 @@ func (st *Stepper) Inputs() int { return st.m }
 // Outputs returns the output row width.
 func (st *Stepper) Outputs() int { return st.p }
 
-// output accumulates the output row from the current block states and the
-// current left-endpoint inputs.
-func (st *Stepper) output() []float64 {
-	y := make([]float64, st.p)
+// outputInto accumulates the output row from the current block states and
+// the current left-endpoint inputs into y (length p), zeroing it first.
+func (st *Stepper) outputInto(y []float64) {
+	for r := range y {
+		y[r] = 0
+	}
 	for i := range st.blocks {
 		if b := &st.blocks[i]; b.modal != nil {
 			b.modal.addOutput(y, st.uNow[b.modal.input])
@@ -150,46 +157,117 @@ func (st *Stepper) output() []float64 {
 			b.implicit.addOutput(y)
 		}
 	}
+}
+
+// output is the allocating form of outputInto, for the once-per-session
+// Output call.
+func (st *Stepper) output() []float64 {
+	y := make([]float64, st.p)
+	st.outputInto(y)
 	return y
 }
 
-// stepOne advances block i one step with the staged endpoint inputs.
-func (st *Stepper) stepOne(i int) {
-	if b := &st.blocks[i]; b.modal != nil {
-		b.modal.step(st.uNow[b.modal.input], st.uNext[b.modal.input])
+// stepBlock advances one block one step with the staged endpoint inputs. A
+// free function over the stepper's stable slices so shard workers can run it
+// without holding the *Stepper itself alive (which would defeat the
+// runtime.AddCleanup leak backstop).
+func stepBlock(b *stepperBlock, uNow, uNext []float64) {
+	if b.modal != nil {
+		b.modal.step(uNow[b.modal.input], uNext[b.modal.input])
 	} else {
-		b.implicit.step(st.uNow[b.implicit.input], st.uNext[b.implicit.input])
+		b.implicit.step(uNow[b.implicit.input], uNext[b.implicit.input])
 	}
 }
 
-// stepAll advances every block one step, sharded across workers when
-// configured.
-func (st *Stepper) stepAll() {
-	if st.workers == 1 {
-		for i := range st.blocks {
-			st.stepOne(i)
-		}
-		return
+// shardWorkers is a set of persistent goroutines, each owning a fixed block
+// range, signaled once per step. Spawning fresh goroutines per step (the old
+// scheme) costs a goroutine create + schedule + join per worker per step —
+// at nanosecond-scale block work the overhead dwarfs the stepping; here the
+// per-step cost is one channel send/receive pair per worker.
+type shardWorkers struct {
+	start []chan struct{}
+	done  chan struct{}
+	quit  chan struct{}
+	once  sync.Once
+}
+
+func newShardWorkers(blocks []stepperBlock, uNow, uNext []float64, workers int) *shardWorkers {
+	sw := &shardWorkers{
+		done: make(chan struct{}, workers),
+		quit: make(chan struct{}),
 	}
-	var wg sync.WaitGroup
-	chunk := (len(st.blocks) + st.workers - 1) / st.workers
-	for w := 0; w < st.workers; w++ {
+	chunk := (len(blocks) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
-		if hi > len(st.blocks) {
-			hi = len(st.blocks)
+		if hi > len(blocks) {
+			hi = len(blocks)
 		}
 		if lo >= hi {
 			break
 		}
-		wg.Add(1)
+		start := make(chan struct{}, 1)
+		sw.start = append(sw.start, start)
 		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				st.stepOne(i)
+			for {
+				select {
+				case <-sw.quit:
+					return
+				case <-start:
+					for i := lo; i < hi; i++ {
+						stepBlock(&blocks[i], uNow, uNext)
+					}
+					sw.done <- struct{}{}
+				}
 			}
 		}(lo, hi)
 	}
-	wg.Wait()
+	return sw
+}
+
+// step signals every shard and waits for all of them; the channel
+// send/receive pairs give the same happens-before edges the per-step
+// WaitGroup used to.
+func (sw *shardWorkers) step() {
+	for _, c := range sw.start {
+		c <- struct{}{}
+	}
+	for range sw.start {
+		<-sw.done
+	}
+}
+
+func (sw *shardWorkers) close() {
+	sw.once.Do(func() { close(sw.quit) })
+}
+
+// stepAll advances every block one step, sharded across the persistent
+// workers when configured.
+func (st *Stepper) stepAll() {
+	if st.workers == 1 {
+		for i := range st.blocks {
+			stepBlock(&st.blocks[i], st.uNow, st.uNext)
+		}
+		return
+	}
+	if st.shards == nil {
+		st.shards = newShardWorkers(st.blocks, st.uNow, st.uNext, st.workers)
+		// Backstop for steppers dropped without Close: the workers hold
+		// only the block/input slices, so an unreachable Stepper triggers
+		// the cleanup and the goroutines exit.
+		runtime.AddCleanup(st, func(sw *shardWorkers) { sw.close() }, st.shards)
+	}
+	st.shards.step()
+}
+
+// Close stops the persistent shard workers, if any were started. It is safe
+// to call multiple times and to keep using the Stepper afterwards — the next
+// sharded step simply restarts the workers. Single-worker steppers have
+// nothing to release.
+func (st *Stepper) Close() {
+	if st.shards != nil {
+		st.shards.close()
+		st.shards = nil
+	}
 }
 
 // Output evaluates input at the current time and returns the output row —
@@ -217,10 +295,14 @@ func (st *Stepper) Advance(n int, input Input) (*Result, error) {
 	if input == nil {
 		return nil, fmt.Errorf("sim: stepper Input waveform is required")
 	}
-	res := &Result{T: make([]float64, 0, n), Y: make([][]float64, 0, n)}
+	res := &Result{T: make([]float64, n), Y: make([][]float64, n)}
 	if n == 0 {
 		return res, nil
 	}
+	// One backing array for all n rows: Advance performs O(1) allocations
+	// regardless of step count, where the old per-step make([]float64, p)
+	// put n short-lived rows on the heap per call.
+	yback := make([]float64, n*st.p)
 	// Re-evaluate the left endpoint under the (possibly new) drive; for an
 	// unchanged waveform this reproduces the value the previous Advance left
 	// behind, because Input is a pure function of t.
@@ -231,8 +313,10 @@ func (st *Stepper) Advance(n int, input Input) (*Result, error) {
 		input(t, st.uNext)
 		st.stepAll()
 		copy(st.uNow, st.uNext)
-		res.T = append(res.T, t)
-		res.Y = append(res.Y, st.output())
+		row := yback[i*st.p : (i+1)*st.p : (i+1)*st.p]
+		st.outputInto(row)
+		res.T[i] = t
+		res.Y[i] = row
 	}
 	return res, nil
 }

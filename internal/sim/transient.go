@@ -253,6 +253,7 @@ func SimulateBlockDiag(bd *lti.BlockDiagSystem, opts TransientOptions) (*Result,
 // runStepper drives a freshly built Stepper through one complete transient:
 // the t = 0 row, then every remaining step in a single Advance.
 func runStepper(st *Stepper, opts TransientOptions) (*Result, error) {
+	defer st.Close()
 	steps := opts.Steps()
 	res := &Result{T: make([]float64, 0, steps+1), Y: make([][]float64, 0, steps+1)}
 	y0, err := st.Output(opts.Input)
