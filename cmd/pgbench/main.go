@@ -16,6 +16,9 @@
 //	pgbench -exp batch               fused multi-tenant evaluation vs
 //	                                 per-request dispatch (writes
 //	                                 BENCH_batch.json)
+//	pgbench -exp fleet               router-tier throughput scaling and
+//	                                 flapping-replica tail latency (writes
+//	                                 BENCH_fleet.json)
 //	pgbench -exp all                 everything
 //
 // At -scale 1 the instances match the paper's node/port counts (ckt5 is a
@@ -34,13 +37,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|session|obs|batch|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig4|fig5|ablation|perf|interp|session|obs|batch|fleet|all")
 	scale := flag.Float64("scale", 0.25, "benchmark scale factor (0,1]; 1 = paper-size grids")
 	points := flag.Int("points", 61, "frequency samples for fig5")
 	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
 	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
 	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
-	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session/obs/batch experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session, BENCH_obs.json when -exp obs, BENCH_batch.json when -exp batch; unset otherwise so 'pgbench -exp all' has no file side effects)")
+	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session/obs/batch/fleet experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session, BENCH_obs.json when -exp obs, BENCH_batch.json when -exp batch, BENCH_fleet.json when -exp fleet; unset otherwise so 'pgbench -exp all' has no file side effects)")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -214,6 +217,27 @@ func main() {
 			return nil
 		})
 	}
+	if want("fleet") {
+		any = true
+		jsonPath := *benchJSON
+		if jsonPath == "" && *exp == "fleet" {
+			jsonPath = "BENCH_fleet.json"
+		}
+		run("Fleet: router-tier scaling and fault absorption", func() error {
+			res, err := bench.Fleet(cfg)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if jsonPath != "" {
+				if err := res.WriteJSON(jsonPath); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", jsonPath)
+			}
+			return nil
+		})
+	}
 	if want("ablation") {
 		any = true
 		run("Ablation: orthonormalization cost", func() error {
@@ -226,7 +250,7 @@ func main() {
 		})
 	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|obs|batch|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|obs|batch|fleet|all)\n", *exp)
 		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
 		os.Exit(2)
 	}

@@ -73,6 +73,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, fmt.Sprintf("bound on concurrent transient sessions (0 = default %d)", serve.DefaultMaxSessions))
 	sessionTTL := flag.Duration("session-ttl", 0, fmt.Sprintf("hard lifetime bound of a transient session (0 = default %v)", serve.DefaultSessionTTL))
 	sessionIdle := flag.Duration("session-idle", 0, fmt.Sprintf("idle timeout after which an untouched session is evicted (0 = default %v)", serve.DefaultSessionIdle))
+	snapshotEvery := flag.Int("session-snapshot-every", 0, "persist each session's integrator state to the store every N completed advances so another replica can resume it (0 = disabled; 1 = snapshot after every advance, exact failover; requires -store-dir)")
 	maxBodyBytes := flag.Int64("max-body-bytes", 0, fmt.Sprintf("request body size cap in bytes; oversized bodies get 413 (0 = default %d)", serve.DefaultMaxBodyBytes))
 	readHeaderTimeout := flag.Duration("read-header-timeout", 10*time.Second, "time a client gets to send its request headers before the connection is dropped (slowloris guard)")
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle connection timeout")
@@ -96,7 +97,11 @@ func main() {
 	cfg := serve.Config{Workers: *workers, CacheBytes: *cacheMB << 20, MaxModels: *maxModels,
 		DisableModal: *noModal, DisableInterp: !*interp, InterpTol: *interpTol,
 		MaxSessions: *maxSessions, SessionTTL: *sessionTTL, SessionIdle: *sessionIdle,
-		MaxBodyBytes: *maxBodyBytes, Logger: logger, SlowRequest: *slowRequest}
+		MaxBodyBytes: *maxBodyBytes, Logger: logger, SlowRequest: *slowRequest,
+		SnapshotEvery: *snapshotEvery}
+	if *snapshotEvery > 0 && *storeDir == "" {
+		fatal("-session-snapshot-every requires -store-dir")
+	}
 	if *storeDir != "" {
 		st, err := store.Open(*storeDir)
 		if err != nil {
@@ -180,13 +185,19 @@ func main() {
 	case <-ctx.Done():
 	}
 	// Drain: flip /healthz to 503 first so the router stops sending work,
-	// then shut the listener down gracefully.
-	srv.SetNotReady("draining: shutdown in progress")
+	// then shut the listener down gracefully, then persist every live
+	// session's integrator state so a surviving replica can resume them.
+	srv.SetNotReadyFor("draining: shutdown in progress", serve.RetryAfterDrain)
 	logger.Info("pgserve shutting down")
 	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := hs.Shutdown(sctx); err != nil {
 		logger.Warn("shutdown", "err", err)
+	}
+	if cfg.Store != nil {
+		if n := srv.SnapshotSessions(); n > 0 {
+			logger.Info("drained session snapshots", "sessions", n)
+		}
 	}
 }
 

@@ -228,6 +228,18 @@ func (v *CounterVec) With(values ...string) *Counter {
 	return v.f.child(values).counter
 }
 
+// GaugeVec is a gauge family keyed by label values.
+type GaugeVec struct{ f *family }
+
+// With returns the child gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.f.child(values).gauge
+}
+
 // HistogramVec is a histogram family keyed by label values.
 type HistogramVec struct{ f *family }
 
@@ -309,6 +321,11 @@ func (r *Registry) CounterFunc(name, help string, fn func() int64) {
 // Gauge registers and returns an unlabeled gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
 	return r.register(name, help, kindGauge, nil, nil).child(nil).gauge
+}
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil)}
 }
 
 // GaugeFunc registers a gauge evaluated at scrape time.

@@ -22,6 +22,9 @@ func buildTestRegistry() (*Registry, *Histogram) {
 	g := reg.Gauge("test_in_flight", "In-flight requests.")
 	g.Set(7)
 	g.Dec()
+	gv := reg.GaugeVec("test_replica_up", "Per-replica health.", "replica")
+	gv.With("http://a:8080").Set(1)
+	gv.With("http://b:8080").Set(0)
 	reg.GaugeFunc("test_func_gauge", "Func-backed gauge.", func() float64 { return 2.5 })
 	reg.CounterFunc("test_func_counter_total", "Func-backed counter.", func() int64 { return 9 })
 	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.001, 0.01, 0.1, 1})
@@ -57,6 +60,8 @@ func TestExporterRoundTrip(t *testing.T) {
 		{"test_by_route_total", []string{"route", "/eval", "status", "400"}, 1},
 		{"test_by_route_total", []string{"route", `/we"ird\path`}, 1},
 		{"test_in_flight", nil, 6},
+		{"test_replica_up", []string{"replica", "http://a:8080"}, 1},
+		{"test_replica_up", []string{"replica", "http://b:8080"}, 0},
 		{"test_func_gauge", nil, 2.5},
 		{"test_func_counter_total", nil, 9},
 		{"test_latency_seconds_count", nil, 3},

@@ -1,0 +1,194 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker defaults; see BreakerConfig.
+const (
+	DefaultFailThreshold = 3
+	DefaultOpenFor       = 2 * time.Second
+	DefaultOpenForMax    = 30 * time.Second
+	DefaultProbation     = 2
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}
+
+// BreakerConfig tunes one replica's circuit breaker.
+type BreakerConfig struct {
+	// FailThreshold consecutive failures trip the breaker open; 0 selects
+	// DefaultFailThreshold.
+	FailThreshold int
+	// OpenFor is how long the breaker stays open before admitting a trial
+	// request; each re-trip from half-open doubles it up to OpenForMax, so a
+	// persistently dead replica is probed ever more rarely. 0 selects the
+	// defaults.
+	OpenFor    time.Duration
+	OpenForMax time.Duration
+	// Probation is how many consecutive half-open successes close the
+	// breaker; 0 selects DefaultProbation.
+	Probation int
+}
+
+func (c *BreakerConfig) defaults() {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultFailThreshold
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = DefaultOpenFor
+	}
+	if c.OpenForMax <= 0 {
+		c.OpenForMax = DefaultOpenForMax
+	}
+	if c.Probation <= 0 {
+		c.Probation = DefaultProbation
+	}
+}
+
+// Breaker is one replica's circuit breaker. Closed: requests flow, and
+// FailThreshold consecutive failures trip it open. Open: requests are
+// refused until the cooldown elapses, then one trial request is admitted
+// (half-open). Half-open: Probation consecutive successes close it; any
+// failure re-opens with a doubled (capped) cooldown.
+//
+// All methods are safe for concurrent use. The breaker observes both real
+// request outcomes and active health probes — whichever fails first pulls the
+// replica, whichever succeeds first starts rehabilitating it.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state     breakerState
+	fails     int           // consecutive failures while closed
+	successes int           // consecutive successes while half-open
+	openUntil time.Time     // when open admits the next trial
+	cooldown  time.Duration // current open duration (doubles per re-trip)
+	inTrial   bool          // a half-open trial request is in flight
+	trips     int64
+}
+
+// NewBreaker builds a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.defaults()
+	return &Breaker{cfg: cfg, cooldown: cfg.OpenFor}
+}
+
+// Allow reports whether a request may be sent to the replica right now. In
+// half-open state only one trial request is admitted at a time; the caller
+// must report its outcome via Success or Failure (which also ends the trial).
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.successes = 0
+		b.inTrial = true
+		return true
+	default: // half-open
+		if b.inTrial {
+			return false
+		}
+		b.inTrial = true
+		return true
+	}
+}
+
+// Success records a successful request or probe.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails = 0
+	case breakerHalfOpen:
+		b.inTrial = false
+		b.successes++
+		if b.successes >= b.cfg.Probation {
+			b.state = breakerClosed
+			b.fails = 0
+			b.cooldown = b.cfg.OpenFor // full recovery resets the backoff
+		}
+	case breakerOpen:
+		// A probe succeeded while the cooldown still runs (e.g. the replica
+		// restarted): move straight to half-open probation.
+		b.state = breakerHalfOpen
+		b.successes = 1
+		b.inTrial = false
+		if b.successes >= b.cfg.Probation {
+			b.state = breakerClosed
+			b.fails = 0
+			b.cooldown = b.cfg.OpenFor
+		}
+	}
+}
+
+// Failure records a failed request or probe.
+func (b *Breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.cfg.FailThreshold {
+			b.trip(now)
+		}
+	case breakerHalfOpen:
+		b.inTrial = false
+		b.cooldown *= 2
+		if b.cooldown > b.cfg.OpenForMax {
+			b.cooldown = b.cfg.OpenForMax
+		}
+		b.trip(now)
+	case breakerOpen:
+		// Already open: push the horizon out from this latest failure.
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// trip moves to open; caller holds b.mu.
+func (b *Breaker) trip(now time.Time) {
+	b.state = breakerOpen
+	b.openUntil = now.Add(b.cooldown)
+	b.fails = 0
+	b.trips++
+}
+
+// State reports the current state (resolving an elapsed open cooldown as
+// open still — only Allow performs the open→half-open transition).
+func (b *Breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,222 @@
+// Package chaos is a deterministic fault-injection TCP proxy for testing the
+// router tier. A Proxy sits between the router and one replica and injects
+// faults per accepted connection: outright refusal, added latency, a hard
+// reset (RST) after N upstream bytes, or a clean truncation (early FIN) after
+// N upstream bytes.
+//
+// Determinism is the point: faults are keyed by the accepted-connection
+// index, so a test declares "connection 2 dies after 512 bytes" and gets
+// exactly that on every run — no probabilistic fault schedules, no flaky
+// reproductions.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rule is the fault injected into one connection. The zero Rule passes the
+// connection through untouched.
+type Rule struct {
+	// Refuse closes the client connection immediately on accept, before any
+	// bytes flow — the router sees connection refused/reset at request time.
+	Refuse bool
+	// Delay sleeps before any upstream byte is relayed, simulating a slow
+	// replica (hedge-trigger territory).
+	Delay time.Duration
+	// ResetAfterBytes hard-resets (RST) the client connection after relaying
+	// this many upstream→client bytes. 0 = never.
+	ResetAfterBytes int64
+	// TruncateAfterBytes half-closes the client connection (clean FIN) after
+	// relaying this many upstream→client bytes, simulating a replica process
+	// dying mid-response. 0 = never.
+	TruncateAfterBytes int64
+}
+
+// Proxy is one chaos proxy instance: a local listener forwarding to a single
+// upstream address.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	mu       sync.Mutex
+	rules    map[int64]Rule // by accepted-connection index
+	fallback Rule           // applied when no per-index rule exists
+	conns    map[int64]net.Conn
+
+	accepted atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New starts a proxy on a fresh loopback port forwarding to upstream
+// (host:port). Close it when done.
+func New(upstream string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		rules:    make(map[int64]Rule),
+		conns:    make(map[int64]net.Conn),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address (host:port).
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns the proxy's address as an http base URL.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// Accepted returns how many connections the proxy has accepted so far.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// SetRule installs the fault for the n-th accepted connection (0-based).
+func (p *Proxy) SetRule(conn int64, r Rule) {
+	p.mu.Lock()
+	p.rules[conn] = r
+	p.mu.Unlock()
+}
+
+// SetFallback installs the fault applied to connections with no per-index
+// rule — e.g. Rule{Refuse: true} turns the proxy into a dead replica.
+func (p *Proxy) SetFallback(r Rule) {
+	p.mu.Lock()
+	p.fallback = r
+	p.mu.Unlock()
+}
+
+// KillActive hard-closes every currently relayed connection, simulating the
+// replica process dying with requests in flight. New connections still follow
+// the rules (combine with SetFallback(Rule{Refuse: true}) for a full crash).
+func (p *Proxy) KillActive() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range p.conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetLinger(0) // RST, not FIN: in-flight reads fail immediately
+		}
+		c.Close()
+		n++
+	}
+	return n
+}
+
+// Close stops the listener and tears down every connection.
+func (p *Proxy) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.ln.Close()
+	p.KillActive()
+	p.wg.Wait()
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		idx := p.accepted.Add(1) - 1
+		p.mu.Lock()
+		rule, ok := p.rules[idx]
+		if !ok {
+			rule = p.fallback
+		}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(conn, idx, rule)
+	}
+}
+
+func (p *Proxy) handle(client net.Conn, idx int64, rule Rule) {
+	defer p.wg.Done()
+	if rule.Refuse {
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		client.Close()
+		return
+	}
+	upstream, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		client.Close()
+		return
+	}
+	p.track(idx, client)
+	defer p.untrack(idx)
+	defer client.Close()
+	defer upstream.Close()
+
+	done := make(chan struct{}, 2)
+	// client → upstream: always clean passthrough (faults model the replica
+	// side failing, not the router's request getting mangled).
+	go func() {
+		io.Copy(upstream, client)
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	// upstream → client: the fault path.
+	go func() {
+		if rule.Delay > 0 {
+			time.Sleep(rule.Delay)
+		}
+		p.relay(client, upstream, rule)
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}
+
+// relay copies upstream→client, enforcing the rule's byte-count faults.
+func (p *Proxy) relay(client, upstream net.Conn, rule Rule) {
+	limit := int64(-1)
+	reset := false
+	if rule.ResetAfterBytes > 0 {
+		limit, reset = rule.ResetAfterBytes, true
+	}
+	if rule.TruncateAfterBytes > 0 && (limit < 0 || rule.TruncateAfterBytes < limit) {
+		limit, reset = rule.TruncateAfterBytes, false
+	}
+	if limit < 0 {
+		io.Copy(client, upstream)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		return
+	}
+	io.CopyN(client, upstream, limit)
+	if reset {
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+	}
+	client.Close()
+	upstream.Close()
+}
+
+func (p *Proxy) track(idx int64, c net.Conn) {
+	p.mu.Lock()
+	p.conns[idx] = c
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(idx int64) {
+	p.mu.Lock()
+	delete(p.conns, idx)
+	p.mu.Unlock()
+}

@@ -1,0 +1,204 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newBackend serves a fixed 4 KiB body so byte-count faults have something to
+// cut.
+func newBackend(t *testing.T) (*httptest.Server, string) {
+	t.Helper()
+	body := strings.Repeat("0123456789abcdef", 256) // 4096 bytes
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	u, _ := url.Parse(ts.URL)
+	return ts, u.Host
+}
+
+func newProxy(t *testing.T, upstream string) *Proxy {
+	t.Helper()
+	p, err := New(upstream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// client returns an http.Client that never reuses connections, so each
+// request maps to exactly one proxy connection index.
+func client() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+}
+
+func TestPassthrough(t *testing.T) {
+	_, host := newBackend(t)
+	p := newProxy(t, host)
+	resp, err := client().Get(p.URL())
+	if err != nil {
+		t.Fatalf("passthrough GET: %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(b) != 4096 {
+		t.Fatalf("body = %d bytes, want 4096", len(b))
+	}
+	if p.Accepted() != 1 {
+		t.Fatalf("accepted = %d, want 1", p.Accepted())
+	}
+}
+
+func TestRefuse(t *testing.T) {
+	_, host := newBackend(t)
+	p := newProxy(t, host)
+	p.SetRule(0, Rule{Refuse: true})
+	if _, err := client().Get(p.URL()); err == nil {
+		t.Fatal("refused connection yielded a response")
+	}
+	// Connection 1 has no rule: passes through.
+	resp, err := client().Get(p.URL())
+	if err != nil {
+		t.Fatalf("connection after the refused one: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestDelay(t *testing.T) {
+	_, host := newBackend(t)
+	p := newProxy(t, host)
+	const d = 150 * time.Millisecond
+	p.SetRule(0, Rule{Delay: d})
+	t0 := time.Now()
+	resp, err := client().Get(p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := time.Since(t0); got < d {
+		t.Fatalf("request completed in %v, want ≥ %v of injected latency", got, d)
+	}
+}
+
+// TestTruncateMidBody pins the fault the router's buffering defends against:
+// headers arrive fine, the body dies partway, and the client read errors
+// instead of silently returning short data.
+func TestTruncateMidBody(t *testing.T) {
+	_, host := newBackend(t)
+	p := newProxy(t, host)
+	p.SetRule(0, Rule{TruncateAfterBytes: 600}) // headers ≈ 120 B + partial body
+	resp, err := client().Get(p.URL())
+	if err != nil {
+		t.Fatalf("GET (headers should survive truncation at 600): %v", err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("read of truncated body succeeded with %d bytes; want an error", len(b))
+	}
+	if len(b) >= 4096 {
+		t.Fatalf("received %d bytes despite truncation", len(b))
+	}
+}
+
+func TestResetMidBody(t *testing.T) {
+	_, host := newBackend(t)
+	p := newProxy(t, host)
+	p.SetRule(0, Rule{ResetAfterBytes: 600})
+	resp, err := client().Get(p.URL())
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if _, err := io.ReadAll(resp.Body); err == nil {
+		t.Fatal("read of reset body succeeded; want connection error")
+	}
+}
+
+func TestFallbackRefusesAll(t *testing.T) {
+	_, host := newBackend(t)
+	p := newProxy(t, host)
+	p.SetFallback(Rule{Refuse: true})
+	for i := 0; i < 3; i++ {
+		if _, err := client().Get(p.URL()); err == nil {
+			t.Fatalf("connection %d not refused under fallback rule", i)
+		}
+	}
+	// Lifting the fallback restores service.
+	p.SetFallback(Rule{})
+	resp, err := client().Get(p.URL())
+	if err != nil {
+		t.Fatalf("after lifting fallback: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestKillActive(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "1000000")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("partial"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		time.Sleep(2 * time.Second) // hold the connection with bytes pending
+	}))
+	defer slow.Close()
+	u, _ := url.Parse(slow.URL)
+	p := newProxy(t, u.Host)
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := client().Get(p.URL())
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		_, err = io.ReadAll(resp.Body)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for p.KillActive() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no active connection to kill")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("client read survived KillActive; want a mid-stream error")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("client read did not fail after KillActive")
+	}
+}
+
+func TestCloseIsIdempotent(t *testing.T) {
+	_, host := newBackend(t)
+	p, err := New(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	p.Close()
+	if _, err := client().Get(p.URL()); err == nil {
+		t.Fatal("closed proxy still accepting")
+	}
+}

@@ -220,6 +220,12 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		"Advances cut short by client disconnect.", sm.canceledAdvances.Load)
 	reg.CounterFunc("pgserve_session_steps_total",
 		"Integration steps served across all sessions.", sm.stepsTotal.Load)
+	reg.CounterFunc("pgserve_sessions_resumed_total",
+		"Sessions re-created from a persisted snapshot.", sm.resumed.Load)
+	reg.CounterFunc("pgserve_session_snapshots_total",
+		"Session state snapshots persisted to the store.", sm.snapSaved.Load)
+	reg.CounterFunc("pgserve_session_snapshot_errors_total",
+		"Session snapshot persistence failures.", sm.snapErrors.Load)
 
 	// Process.
 	reg.GaugeFunc("pgserve_uptime_seconds", "Seconds since the server started.",

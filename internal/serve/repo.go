@@ -590,6 +590,9 @@ func (r *Repository) Stats() RepoStats {
 
 // Lookup resolves a model by its ID without triggering a build. It blocks if
 // the model is still reducing. Interpolated models resolve like reduced ones.
+// On an in-memory miss the persistent store is consulted, so a replica that
+// never reduced a model can still serve by-id requests after a sibling wrote
+// it through a shared store — the failover path a router tier relies on.
 func (r *Repository) Lookup(id string) (*Model, error) {
 	r.mu.Lock()
 	e, ok := r.byID[id]
@@ -602,10 +605,42 @@ func (r *Repository) Lookup(id string) (*Model, error) {
 	}
 	r.mu.Unlock()
 	if !ok {
+		if m := r.lookupStoreByID(id); m != nil {
+			return m, nil
+		}
 		return nil, fmt.Errorf("serve: unknown model %q (POST /reduce first)", id)
 	}
 	<-e.ready
 	return e.model, e.err
+}
+
+// lookupStoreByID read-throughs the persistent store for a model known only
+// by ID: scan the metadata, recover the ModelKey it claims, and register the
+// model store-only (never building — an unknown id must not trigger a
+// reduction). Returns nil on any miss.
+func (r *Repository) lookupStoreByID(id string) *Model {
+	if r.store == nil {
+		return nil
+	}
+	metas, err := r.store.Scan()
+	if err != nil {
+		return nil
+	}
+	for _, meta := range metas {
+		if meta.ID != id {
+			continue
+		}
+		key, ok := keyFromMeta(meta.ModelKey, meta.ID)
+		if !ok {
+			return nil
+		}
+		m, _, err := r.get(key, false)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	return nil
 }
 
 // Models lists all successfully built models plus the resident interpolated

@@ -21,6 +21,7 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -104,7 +105,31 @@ type Config struct {
 	// registry, no /metrics endpoint, no histogram observation anywhere.
 	// The benchmarking baseline for measuring instrumentation overhead.
 	DisableMetrics bool
+	// SnapshotEvery persists each session's integrator state through Store
+	// every N completed advances (and on SnapshotSessions, the drain hook),
+	// so a session can resume on any replica sharing the store directory.
+	// 1 makes failover exact — the snapshot always matches the last advance
+	// the client saw complete. 0 disables periodic snapshots.
+	SnapshotEvery int
 }
+
+// Retry-After policies: every 429/503 the server emits carries a hint of
+// when the condition will plausibly clear, so routers and clients back off
+// for an informed interval instead of guessing.
+const (
+	// RetryAfterPreload: the store preload runs in milliseconds-to-seconds;
+	// probe again almost immediately.
+	RetryAfterPreload = 1 * time.Second
+	// RetryAfterDrain: a draining replica is going away — stay away long
+	// enough for the fleet to converge on the survivors.
+	RetryAfterDrain = 10 * time.Second
+	// RetryAfterSessionLimit: sessions churn on the idle window; a slot
+	// likely frees within a couple of seconds.
+	RetryAfterSessionLimit = 2 * time.Second
+	// RetryAfterRepoFull: the model bound clears only by operator action or
+	// restart; don't hammer.
+	RetryAfterRepoFull = 10 * time.Second
+)
 
 // DefaultMaxBodyBytes caps request bodies when no explicit limit is given.
 // The largest legitimate request (a PWL waveform with thousands of
@@ -129,8 +154,16 @@ type Server struct {
 	metrics *serverMetrics
 	// notReady holds the reason the server is not ready to serve (store
 	// preload in progress, draining for shutdown); nil means ready. /healthz
-	// reports 503 with the reason so a router can pull the replica.
-	notReady atomic.Pointer[string]
+	// reports 503 with the reason — and a Retry-After hint — so a router can
+	// pull the replica and knows when to re-probe.
+	notReady atomic.Pointer[notReadyState]
+}
+
+// notReadyState is the reason the server answers 503 plus how long callers
+// should wait before retrying.
+type notReadyState struct {
+	reason     string
+	retryAfter time.Duration
 }
 
 // New assembles a Server. Call Close to stop its worker pool.
@@ -194,8 +227,14 @@ func (s *Server) Repo() *Repository { return s.repo }
 func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // SetNotReady marks the server unready: /healthz returns 503 with the
-// reason until SetReady. Used around store preloads and shutdown drains.
-func (s *Server) SetNotReady(reason string) { s.notReady.Store(&reason) }
+// reason until SetReady, hinting callers to retry after RetryAfterPreload.
+// Use SetNotReadyFor when the condition has a different horizon (drains).
+func (s *Server) SetNotReady(reason string) { s.SetNotReadyFor(reason, RetryAfterPreload) }
+
+// SetNotReadyFor marks the server unready with an explicit Retry-After hint.
+func (s *Server) SetNotReadyFor(reason string, retryAfter time.Duration) {
+	s.notReady.Store(&notReadyState{reason: reason, retryAfter: retryAfter})
+}
 
 // SetReady marks the server ready to serve.
 func (s *Server) SetReady() { s.notReady.Store(nil) }
@@ -344,16 +383,35 @@ func noteModel(r *http.Request, m *Model) {
 	}
 }
 
-// httpError carries a status code through handler plumbing.
+// httpError carries a status code through handler plumbing. retryAfter, when
+// positive, emits a Retry-After header: every 429/503 tells its caller when
+// the condition will plausibly clear, so router and client backoff are
+// informed rather than blind.
 type httpError struct {
-	code int
-	err  error
+	code       int
+	err        error
+	retryAfter time.Duration
 }
 
 func (e *httpError) Error() string { return e.err.Error() }
 
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{code: http.StatusBadRequest, err: fmt.Errorf(format, args...)}
+}
+
+// overloaded builds a 429 with a Retry-After hint.
+func overloaded(retryAfter time.Duration, err error) *httpError {
+	return &httpError{code: http.StatusTooManyRequests, err: err, retryAfter: retryAfter}
+}
+
+// retryAfterSeconds renders a Retry-After duration as whole seconds,
+// rounding up so "1ms" never becomes the header value 0 ("retry now").
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // writeErr renders an error response. The request's ID rides along in the
@@ -364,6 +422,9 @@ func writeErr(w http.ResponseWriter, r *http.Request, err error) {
 	var he *httpError
 	if errors.As(err, &he) {
 		code = he.code
+		if he.retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(he.retryAfter))
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -456,7 +517,7 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 	m, outcome, err := s.repo.Get(key)
 	switch {
 	case errors.Is(err, ErrRepositoryFull):
-		writeErr(w, r, &httpError{code: http.StatusTooManyRequests, err: err})
+		writeErr(w, r, overloaded(RetryAfterRepoFull, err))
 		return
 	case err != nil:
 		writeErr(w, r, err) // build/reduction failure: server-side, 500
@@ -538,7 +599,7 @@ func (s *Server) resolveModel(id string, key ModelKey, tol float64) (*Model, Out
 	}
 	switch {
 	case errors.Is(err, ErrRepositoryFull):
-		return nil, outcome, &httpError{code: http.StatusTooManyRequests, err: err}
+		return nil, outcome, overloaded(RetryAfterRepoFull, err)
 	case err != nil:
 		return nil, outcome, err
 	}
@@ -880,11 +941,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		stats["store"] = s.cfg.Store.Stats()
 	}
-	if reason := s.notReady.Load(); reason != nil {
+	if nr := s.notReady.Load(); nr != nil {
 		w.Header().Set("Content-Type", "application/json")
+		if nr.retryAfter > 0 {
+			w.Header().Set("Retry-After", retryAfterSeconds(nr.retryAfter))
+		}
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{
-			"status": "unavailable", "reason": *reason, "stats": stats,
+			"status": "unavailable", "reason": nr.reason, "stats": stats,
 		})
 		return
 	}

@@ -86,10 +86,17 @@ type SessionStats struct {
 	// disconnect (the integrator stopped within one chunk).
 	CanceledAdvances int64 `json:"canceled_advances"`
 	// StepsTotal is the total integration steps served across all sessions.
-	StepsTotal  int64   `json:"steps_total"`
-	MaxSessions int     `json:"max_sessions"`
-	TTLSeconds  float64 `json:"ttl_s"`
-	IdleSeconds float64 `json:"idle_s"`
+	StepsTotal int64 `json:"steps_total"`
+	// Resumed counts sessions re-created from a persisted snapshot (failover
+	// from another replica, or this one before a restart).
+	Resumed int64 `json:"resumed"`
+	// SnapshotsSaved / SnapshotErrors count session-state persistence through
+	// the store (periodic per-advance snapshots plus drain snapshots).
+	SnapshotsSaved int64   `json:"snapshots_saved"`
+	SnapshotErrors int64   `json:"snapshot_errors"`
+	MaxSessions    int     `json:"max_sessions"`
+	TTLSeconds     float64 `json:"ttl_s"`
+	IdleSeconds    float64 `json:"idle_s"`
 }
 
 // SessionManager owns the live sessions: bounded admission, TTL + idle
@@ -105,6 +112,8 @@ type SessionManager struct {
 	created, expired, deleted, denied atomic.Int64
 	canceledAdvances                  atomic.Int64
 	stepsTotal                        atomic.Int64
+	resumed                           atomic.Int64
+	snapSaved, snapErrors             atomic.Int64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -239,6 +248,39 @@ func (sm *SessionManager) Create(m *Model, st *sim.Stepper, dt float64, method s
 	return s, nil
 }
 
+// Adopt admits a fully-built session under its existing identity — the
+// resume path, where the ID, creation time, and deadline were fixed when the
+// session was first created (possibly on another replica). Fails with
+// ErrSessionLimit at the bound and errSessionGone-style conflict if the ID is
+// already live here.
+func (sm *SessionManager) Adopt(s *Session) error {
+	sm.Sweep(time.Now())
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if _, ok := sm.sessions[s.ID]; ok {
+		return fmt.Errorf("serve: session %q is already live on this replica", s.ID)
+	}
+	if len(sm.sessions) >= sm.max {
+		sm.denied.Add(1)
+		return fmt.Errorf("%w (%d sessions)", ErrSessionLimit, sm.max)
+	}
+	sm.sessions[s.ID] = s
+	sm.resumed.Add(1)
+	return nil
+}
+
+// live snapshots the current session set — the drain hook iterates it
+// without holding the manager's lock across per-session snapshot writes.
+func (sm *SessionManager) live() []*Session {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	out := make([]*Session, 0, len(sm.sessions))
+	for _, s := range sm.sessions {
+		out = append(out, s)
+	}
+	return out
+}
+
 // Get resolves a live session, lazily evicting it if it expired between
 // janitor sweeps.
 func (sm *SessionManager) Get(id string) (*Session, error) {
@@ -287,6 +329,9 @@ func (sm *SessionManager) Stats() SessionStats {
 		Denied:           sm.denied.Load(),
 		CanceledAdvances: sm.canceledAdvances.Load(),
 		StepsTotal:       sm.stepsTotal.Load(),
+		Resumed:          sm.resumed.Load(),
+		SnapshotsSaved:   sm.snapSaved.Load(),
+		SnapshotErrors:   sm.snapErrors.Load(),
 		MaxSessions:      sm.max,
 		TTLSeconds:       sm.ttl.Seconds(),
 		IdleSeconds:      sm.idle.Seconds(),
@@ -304,6 +349,17 @@ type sessionCreateRequest struct {
 	Dt float64 `json:"dt"`
 	// Method selects "be" (default) or "trap" for non-modal fallback blocks.
 	Method string `json:"method,omitempty"`
+	// Resume, when set, re-creates the session with this id from its
+	// persisted snapshot instead of opening a fresh one; every other field
+	// except ResumeStep must be unset (the snapshot pins model, dt, and
+	// method).
+	Resume string `json:"resume,omitempty"`
+	// ResumeStep, when positive, requires the resume to restore the state at
+	// exactly this integration step. The store retains two snapshot
+	// generations, so a router can rewind one advance — the case where the
+	// previous owner completed an advance whose response never reached the
+	// client. 0 resumes from the latest snapshot.
+	ResumeStep int64 `json:"resume_step,omitempty"`
 }
 
 // sessionAdvanceRequest advances a session by a step count under a drive
@@ -359,7 +415,19 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// Refuse at the bound before resolving the model: resolution may cost a
 	// full reduction, and a denied request should be O(1), not O(reduce).
 	if err := s.sessions.CheckCapacity(); err != nil {
-		writeErr(w, r, &httpError{code: http.StatusTooManyRequests, err: err})
+		writeErr(w, r, overloaded(RetryAfterSessionLimit, err))
+		return
+	}
+	if req.Resume != "" {
+		if req.Model != "" || req.Benchmark != "" || req.Dt != 0 || req.Method != "" {
+			writeErr(w, r, badRequest("resume takes no other fields: the snapshot pins model, dt, and method"))
+			return
+		}
+		s.handleSessionResume(w, r, req.Resume, req.ResumeStep)
+		return
+	}
+	if req.ResumeStep != 0 {
+		writeErr(w, r, badRequest("resume_step requires resume"))
 		return
 	}
 	m, _, err := s.resolveModel(req.Model, req.ModelKey, 0)
@@ -385,7 +453,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	sess, err := s.sessions.Create(m, st, req.Dt, method)
 	if err != nil {
 		if errors.Is(err, ErrSessionLimit) {
-			err = &httpError{code: http.StatusTooManyRequests, err: err}
+			err = overloaded(RetryAfterSessionLimit, err)
 		}
 		writeErr(w, r, err)
 		return
@@ -416,6 +484,12 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if !s.sessions.Delete(id) {
 		writeErr(w, r, &httpError{code: http.StatusNotFound, err: fmt.Errorf("%w: %q", errSessionGone, id)})
 		return
+	}
+	// An explicitly deleted session must not resurrect on another replica:
+	// drop its persisted snapshot too (best-effort — a failed remove only
+	// means the TTL check at resume time does the cleanup).
+	if s.cfg.Store != nil {
+		s.cfg.Store.DeleteSnapshot(id)
 	}
 	writeJSON(w, map[string]string{"deleted": id})
 }
@@ -565,6 +639,10 @@ func (s *Server) handleSessionAdvance(w http.ResponseWriter, r *http.Request) {
 		remaining -= n
 		sess.touch(time.Now())
 	}
+	// The advance completed: persist the integrator state if the periodic
+	// snapshot policy says so (sess.mu is still held here, so the stepper is
+	// quiescent and the snapshot is exactly the state the client just saw).
+	s.maybeSnapshotSession(sess)
 }
 
 // buildInput turns a waveform spec plus an optional port mask into a

@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary snapshot format for StepperState — the wire/disk form that lets a
+// session migrate between processes: a replica persists its steppers' state
+// through the ROM store, and a failover peer restores them without sharing
+// memory. gob cannot carry complex128, so modal coordinates are interleaved
+// as (re, im) float64 pairs, exactly like the lti modal ROM format.
+//
+// Layout (little-endian):
+//
+//	magic    [4]byte  "PGSS"
+//	version  uint16   (1)
+//	step     uint64   step counter
+//	nblocks  uint32
+//	per block:
+//	  kind   uint8    1 = modal, 2 = implicit
+//	  n      uint32   coordinate count (modes or state order)
+//	  data   n×16B    (re, im) pairs   — modal
+//	         n×8B     float64 state    — implicit
+//
+// The frame is deliberately checksum-free: both the store layer (sha256 over
+// the whole file) and the HTTP layer that may carry it add their own
+// integrity; decoding still validates structure exhaustively so a corrupt
+// payload fails loudly instead of restoring garbage state.
+const (
+	snapshotMagic   = "PGSS"
+	snapshotVersion = 1
+)
+
+const (
+	snapKindModal    = 1
+	snapKindImplicit = 2
+)
+
+// MarshalBinary encodes the snapshot for persistence or transfer.
+func (s *StepperState) MarshalBinary() ([]byte, error) {
+	if len(s.Modal) != len(s.Implicit) {
+		return nil, fmt.Errorf("sim: snapshot has %d modal vs %d implicit block slots", len(s.Modal), len(s.Implicit))
+	}
+	if s.Step < 0 {
+		return nil, fmt.Errorf("sim: snapshot step %d is negative", s.Step)
+	}
+	size := 4 + 2 + 8 + 4
+	for i := range s.Modal {
+		size += 1 + 4
+		size += 16*len(s.Modal[i]) + 8*len(s.Implicit[i])
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, snapshotMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, snapshotVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.Step))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Modal)))
+	for i := range s.Modal {
+		switch {
+		case s.Modal[i] != nil && s.Implicit[i] == nil:
+			buf = append(buf, snapKindModal)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Modal[i])))
+			for _, z := range s.Modal[i] {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(real(z)))
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(imag(z)))
+			}
+		case s.Implicit[i] != nil && s.Modal[i] == nil:
+			buf = append(buf, snapKindImplicit)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.Implicit[i])))
+			for _, v := range s.Implicit[i] {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+			}
+		default:
+			return nil, fmt.Errorf("sim: snapshot block %d must have exactly one of modal/implicit state", i)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalStepperState decodes a snapshot produced by MarshalBinary,
+// validating the frame exhaustively: any structural damage (bad magic, wrong
+// version, truncation, trailing bytes, absurd counts) is an error, never a
+// silently wrong state.
+func UnmarshalStepperState(data []byte) (*StepperState, error) {
+	r := snapReader{data: data}
+	if string(r.bytes(4)) != snapshotMagic {
+		return nil, fmt.Errorf("sim: bad snapshot magic")
+	}
+	if v := r.u16(); v != snapshotVersion {
+		return nil, fmt.Errorf("sim: snapshot format version %d, this build reads version %d", v, snapshotVersion)
+	}
+	step := r.u64()
+	if step > math.MaxInt64/2 {
+		return nil, fmt.Errorf("sim: snapshot step %d is absurd", step)
+	}
+	nblocks := r.u32()
+	// Each block costs at least 5 bytes; reject counts the data cannot hold
+	// before allocating.
+	if uint64(nblocks) > uint64(len(data))/5 {
+		return nil, fmt.Errorf("sim: snapshot block count %d exceeds payload", nblocks)
+	}
+	s := &StepperState{
+		Step:     int(step),
+		Modal:    make([][]complex128, nblocks),
+		Implicit: make([][]float64, nblocks),
+	}
+	for i := 0; i < int(nblocks); i++ {
+		kind := r.u8()
+		n := r.u32()
+		switch kind {
+		case snapKindModal:
+			if uint64(n)*16 > uint64(len(r.data)-r.off) {
+				return nil, fmt.Errorf("sim: snapshot block %d: %d modes exceed payload", i, n)
+			}
+			z := make([]complex128, n)
+			for k := range z {
+				re := math.Float64frombits(r.u64())
+				im := math.Float64frombits(r.u64())
+				z[k] = complex(re, im)
+			}
+			s.Modal[i] = z
+		case snapKindImplicit:
+			if uint64(n)*8 > uint64(len(r.data)-r.off) {
+				return nil, fmt.Errorf("sim: snapshot block %d: order %d exceeds payload", i, n)
+			}
+			x := make([]float64, n)
+			for k := range x {
+				x[k] = math.Float64frombits(r.u64())
+			}
+			s.Implicit[i] = x
+		default:
+			return nil, fmt.Errorf("sim: snapshot block %d has unknown kind %d", i, kind)
+		}
+		if r.failed {
+			return nil, fmt.Errorf("sim: snapshot truncated in block %d", i)
+		}
+	}
+	if r.failed {
+		return nil, fmt.Errorf("sim: snapshot truncated")
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("sim: %d trailing bytes after snapshot", len(data)-r.off)
+	}
+	return s, nil
+}
+
+// snapReader is a bounds-checked little-endian cursor: reads past the end
+// set failed and return zeros, so decode loops stay straight-line and check
+// once per block.
+type snapReader struct {
+	data   []byte
+	off    int
+	failed bool
+}
+
+func (r *snapReader) bytes(n int) []byte {
+	if r.off+n > len(r.data) {
+		r.failed = true
+		return make([]byte, n)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *snapReader) u8() uint8   { return r.bytes(1)[0] }
+func (r *snapReader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
+func (r *snapReader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *snapReader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }

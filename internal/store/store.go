@@ -113,6 +113,10 @@ type Stats struct {
 	WriteErrors int64 `json:"write_errors"`
 	// CorruptDropped counts files this process quarantined.
 	CorruptDropped int64 `json:"corrupt_dropped"`
+	// Snapshots counts live session-snapshot files on disk; SnapshotWrites
+	// counts snapshot persists by this process.
+	Snapshots      int   `json:"snapshots"`
+	SnapshotWrites int64 `json:"snapshot_writes"`
 }
 
 // Store is a handle on one store directory. All methods are safe for
@@ -126,6 +130,7 @@ type Store struct {
 	quarantineMu sync.Mutex
 
 	hits, misses, writes, writeErrors, corrupt atomic.Int64
+	snapWrites                                 atomic.Int64
 }
 
 // Open creates (if necessary) and opens a store directory.
@@ -236,33 +241,9 @@ func (s *Store) Put(meta Meta, rom *lti.BlockDiagSystem, modal *lti.ModalSystem)
 		s.writeErrors.Add(1)
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, "tmp-*")
-	if err != nil {
+	if err := s.writeAtomic(s.path(meta.ID, meta.GridKey), data); err != nil {
 		s.writeErrors.Add(1)
-		return fmt.Errorf("store: creating temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		s.writeErrors.Add(1)
-		return fmt.Errorf("store: writing %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		s.writeErrors.Add(1)
-		return fmt.Errorf("store: syncing %s: %w", tmp.Name(), err)
-	}
-	if err := tmp.Close(); err != nil {
-		s.writeErrors.Add(1)
-		return fmt.Errorf("store: closing %s: %w", tmp.Name(), err)
-	}
-	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
-		s.writeErrors.Add(1)
-		return fmt.Errorf("store: chmod %s: %w", tmp.Name(), err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(meta.ID, meta.GridKey)); err != nil {
-		s.writeErrors.Add(1)
-		return fmt.Errorf("store: publishing ROM: %w", err)
+		return err
 	}
 	s.writes.Add(1)
 	return nil
@@ -380,6 +361,7 @@ func (s *Store) Stats() Stats {
 		Writes:         s.writes.Load(),
 		WriteErrors:    s.writeErrors.Load(),
 		CorruptDropped: s.corrupt.Load(),
+		SnapshotWrites: s.snapWrites.Load(),
 	}
 	if entries, err := os.ReadDir(s.dir); err == nil {
 		for _, ent := range entries {
@@ -387,6 +369,8 @@ func (s *Store) Stats() Stats {
 			case ent.IsDir():
 			case strings.HasSuffix(ent.Name(), romExt):
 				st.Entries++
+			case strings.HasSuffix(ent.Name(), snapExt):
+				st.Snapshots++
 			case strings.HasSuffix(ent.Name(), quarantineExt):
 				st.Quarantined++
 			}
