@@ -1,0 +1,137 @@
+// Command pglint is the repo's static-analysis suite: five repo-specific
+// analyzers that machine-enforce the invariants the serving stack's
+// correctness and speed rest on.
+//
+//	noalloc       //pgmor:noalloc functions must not contain allocating
+//	              constructs, transitively through same-module callees
+//	atomicfield   fields accessed via sync/atomic are never accessed plainly
+//	ctxflow       context.Background()/TODO()/WithoutCancel() in request-path
+//	              packages require a //pgmor:detach <reason> annotation
+//	asmpolicy     amd64 assembly: FP opcode allowlist (never FMA), VZEROUPPER
+//	              before RET, TEXT sizes cross-checked against Go stubs
+//	metrichygiene metric names are prefixed snake_case, globally unique, and
+//	              synchronized with the README tables and CI require lists
+//
+// Usage:
+//
+//	go run ./cmd/pglint ./...          # standalone, whole-module fidelity
+//	go vet -vettool=$(which pglint) ./...  # per-package fidelity
+//
+// Standalone mode loads and type-checks the entire module in one process, so
+// cross-package checks (transitive allocation, global metric uniqueness) see
+// everything. Vettool mode runs under cmd/go's unit-checker protocol with
+// per-package export data; it applies the same rules at package granularity.
+// CI gates on standalone mode.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/asmpolicy"
+	"repro/internal/analysis/atomicfield"
+	"repro/internal/analysis/ctxflow"
+	"repro/internal/analysis/metrichygiene"
+	"repro/internal/analysis/noalloc"
+)
+
+func analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		noalloc.Analyzer,
+		atomicfield.Analyzer,
+		ctxflow.Analyzer,
+		asmpolicy.Analyzer,
+		metrichygiene.Analyzer,
+	}
+}
+
+func main() {
+	// The -V and -flags handshakes come from cmd/go's vettool protocol; they
+	// must answer before normal flag parsing.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		// cmd/go caches vet results keyed on this line; it must end in
+		// "buildID=<hex>". Hash the executable so edits invalidate the cache.
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(exe); err == nil {
+				sum := sha256.Sum256(data)
+				id = fmt.Sprintf("%x", sum[:16])
+			}
+		}
+		fmt.Printf("pglint version devel buildID=%s\n", id)
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pglint [packages]\n       pglint <unit>.cfg  (vettool mode)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	args := flag.Args()
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+func standalone(patterns []string) int {
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		return 2
+	}
+	m, err := analysis.LoadModule(root, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		return 2
+	}
+	diags, err := analysis.Run(m, analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		posn := d.Position(m.Fset)
+		name := posn.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+		if posn.Column > 0 {
+			fmt.Printf("%s:%d:%d: %s\n", name, posn.Line, posn.Column, d.Message)
+		} else {
+			fmt.Printf("%s:%d: %s\n", name, posn.Line, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "pglint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

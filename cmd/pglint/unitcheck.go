@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig is the unit-checker protocol configuration cmd/go writes for
+// each package when pglint runs as -vettool.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck runs the analyzers over one package under cmd/go's vettool
+// protocol: type information comes from the export data the build already
+// produced, so each package is checked at per-package fidelity (module-wide
+// cross-checks run in standalone mode, which CI gates on).
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pglint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pglint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+
+	var sfiles []string
+	for _, f := range cfg.NonGoFiles {
+		if strings.HasSuffix(f, ".s") {
+			sfiles = append(sfiles, f)
+		}
+	}
+	spec := analysis.PkgSpec{
+		Path:     cfg.ImportPath,
+		Dir:      cfg.Dir,
+		Files:    cfg.GoFiles,
+		SFiles:   sfiles,
+		InModule: true,
+	}
+	m, err := analysis.TypeCheck(fset, []analysis.PkgSpec{spec}, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		return 1
+	}
+	// Per-package mode has no module root: metrichygiene's doc cross-checks
+	// are standalone-only and disable themselves when RootDir is empty.
+	diags, err := analysis.Run(m, analyzers())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pglint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		posn := d.Position(fset)
+		fmt.Fprintf(os.Stderr, "%s: %s\n", relPosition(posn, cfg.Dir), d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func relPosition(posn token.Position, dir string) string {
+	name := posn.Filename
+	if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		name = rel
+	}
+	if posn.Column > 0 {
+		return fmt.Sprintf("%s:%d:%d", name, posn.Line, posn.Column)
+	}
+	return fmt.Sprintf("%s:%d", name, posn.Line)
+}

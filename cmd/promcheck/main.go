@@ -1,11 +1,12 @@
 // Command promcheck validates a Prometheus text-format scrape on stdin: it
 // must parse under the strict obs parser (HELP/TYPE pairing, label quoting,
-// monotone cumulative histogram buckets), and every metric family named in
-// -require must be present. Exit status 0 means a well-formed scrape with all
-// required families; anything else is a CI failure.
+// monotone cumulative histogram buckets), and every metric family named via
+// -require / -require-file must be present. Exit status 0 means a
+// well-formed scrape with all required families; anything else is a CI
+// failure.
 //
 //	curl -fsS localhost:8080/metrics | promcheck \
-//	  -require pgserve_http_requests_total,pgserve_repo_builds_total
+//	  -require-file .github/promcheck-pgserve.require
 package main
 
 import (
@@ -19,8 +20,19 @@ import (
 
 func main() {
 	require := flag.String("require", "", "comma-separated metric family names that must appear in the scrape")
+	requireFile := flag.String("require-file", "", "file of required family names, one per line (# comments and blanks ignored); unioned with -require")
 	min := flag.Int("min-series", 1, "minimum number of samples the scrape must contain")
 	flag.Parse()
+
+	names := splitComma(*require)
+	if *requireFile != "" {
+		fileNames, err := readRequireFile(*requireFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promcheck: %v\n", err)
+			os.Exit(1)
+		}
+		names = append(names, fileNames...)
+	}
 
 	sc, err := obs.ParseText(os.Stdin)
 	if err != nil {
@@ -33,11 +45,7 @@ func main() {
 	}
 
 	missing := 0
-	for _, name := range strings.Split(*require, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
+	for _, name := range names {
 		// A histogram family appears as name_bucket/_sum/_count series; accept
 		// the family name if any of its series (or the name itself) is present.
 		if sc.Has(name) || sc.Has(name+"_bucket") || sc.Has(name+"_sum") || sc.Has(name+"_count") {
@@ -50,4 +58,33 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("promcheck: ok (%d samples, %d families typed)\n", len(sc.Samples), len(sc.Types))
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// readRequireFile reads one family name per line; blank lines and
+// #-comments are skipped. The same format metrichygiene keeps in sync with
+// the registered metrics.
+func readRequireFile(path string) ([]string, error) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, raw := range strings.Split(string(content), "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out, nil
 }

@@ -1,0 +1,185 @@
+package analysis_test
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestAllocGuard is the bridge between the static and dynamic halves of the
+// no-allocation contract: every //pgmor:noalloc function must be pinned by a
+// testing.AllocsPerRun test carrying a //pgmor:alloctest <Name> marker in
+// the same package, and every marker must still name an annotated function.
+// The static analyzer proves the absence of allocating constructs; the
+// AllocsPerRun suite catches what escapes static proof (compiler-inserted
+// escapes, stdlib behavior changes); this test keeps the two sets equal.
+func TestAllocGuard(t *testing.T) {
+	root := moduleRoot(t)
+	fset := token.NewFileSet()
+
+	type marker struct {
+		pos       token.Position
+		testFunc  string
+		hasAllocs bool
+	}
+	annotated := make(map[string]map[string]token.Position) // pkg dir -> func -> pos
+	markers := make(map[string]map[string][]marker)         // pkg dir -> target -> markers
+
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || (strings.HasPrefix(name, ".") && path != root) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		dir := filepath.Dir(path)
+		isTest := strings.HasSuffix(path, "_test.go")
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !isTest {
+				if _, ok := analysis.Directive(fd.Doc, "noalloc"); ok {
+					if annotated[dir] == nil {
+						annotated[dir] = make(map[string]token.Position)
+					}
+					annotated[dir][declName(fd)] = fset.Position(fd.Pos())
+				}
+				continue
+			}
+			if fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, ok := strings.CutPrefix(c.Text, "//pgmor:alloctest")
+				if !ok {
+					continue
+				}
+				target := strings.TrimSpace(rest)
+				if target == "" {
+					t.Errorf("%s: //pgmor:alloctest needs a target function name", fset.Position(c.Pos()))
+					continue
+				}
+				if markers[dir] == nil {
+					markers[dir] = make(map[string][]marker)
+				}
+				markers[dir][target] = append(markers[dir][target], marker{
+					pos:       fset.Position(c.Pos()),
+					testFunc:  fd.Name.Name,
+					hasAllocs: callsAllocsPerRun(fd),
+				})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(annotated) == 0 {
+		t.Fatal("found no //pgmor:noalloc functions; the scanner is broken")
+	}
+
+	for dir, funcs := range annotated {
+		for name, pos := range funcs {
+			ms := markers[dir][name]
+			if len(ms) == 0 {
+				t.Errorf("%s: //pgmor:noalloc %s has no //pgmor:alloctest %s marker on an AllocsPerRun test in %s",
+					pos, name, name, relDir(root, dir))
+				continue
+			}
+			for _, m := range ms {
+				if !m.hasAllocs {
+					t.Errorf("%s: //pgmor:alloctest %s marks %s, which never calls testing.AllocsPerRun",
+						m.pos, name, m.testFunc)
+				}
+			}
+		}
+	}
+	for dir, targets := range markers {
+		for name, ms := range targets {
+			if _, ok := annotated[dir][name]; !ok {
+				for _, m := range ms {
+					t.Errorf("%s: stale //pgmor:alloctest %s: no //pgmor:noalloc function %s in %s",
+						m.pos, name, name, relDir(root, dir))
+				}
+			}
+		}
+	}
+}
+
+// declName is the marker-facing name of a function: Name for package
+// functions, Recv.Name for methods (pointer and type parameters stripped).
+func declName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	switch it := t.(type) {
+	case *ast.IndexExpr:
+		t = it.X
+	case *ast.IndexListExpr:
+		t = it.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func callsAllocsPerRun(fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok && sel.Sel.Name == "AllocsPerRun" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func moduleRoot(t *testing.T) string {
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+func relDir(root, dir string) string {
+	if r, err := filepath.Rel(root, dir); err == nil {
+		return r
+	}
+	return dir
+}

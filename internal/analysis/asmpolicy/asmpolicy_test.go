@@ -1,0 +1,12 @@
+package asmpolicy_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/asmpolicy"
+)
+
+func TestAsmPolicy(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), asmpolicy.Analyzer, "asmfix")
+}

@@ -1,0 +1,39 @@
+// Fixture assembly: one clean kernel plus one violation per policy rule.
+
+// Clean: allowlisted opcodes only, VZEROUPPER before RET.
+TEXT ·goodKernel(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	VBROADCASTSD a+24(FP), Y0
+	VMOVUPD (SI), Y1
+	VMULPD Y0, Y1, Y1
+	VMOVUPD Y1, (SI)
+	VZEROUPPER
+	RET
+
+TEXT ·fmaKernel(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	VBROADCASTSD a+24(FP), Y0
+	VMOVUPD (SI), Y1
+	VFMADD231PD Y0, Y1, Y1 // want "FMA opcode VFMADD231PD is forbidden"
+	VMOVUPD Y1, (SI)
+	VZEROUPPER
+	RET
+
+TEXT ·badOpKernel(SB), NOSPLIT, $0-32
+	MOVQ x_base+0(FP), SI
+	VBROADCASTSD a+24(FP), Y0
+	VMOVUPD (SI), Y1
+	VDIVPD Y0, Y1, Y1 // want "VDIVPD is not in the policy allowlist"
+	VMOVUPD Y1, (SI)
+	VZEROUPPER
+	RET
+
+TEXT ·noVzero(SB), NOSPLIT, $0-24
+	MOVQ x_base+0(FP), SI
+	VMOVUPD (SI), Y1
+	VADDPD Y1, Y1, Y1
+	VMOVUPD Y1, (SI)
+	RET // want "without a preceding VZEROUPPER"
+
+TEXT ·wrongSize(SB), NOSPLIT, $0-24 // want "argument size is 24 bytes; Go declaration requires 32"
+	RET

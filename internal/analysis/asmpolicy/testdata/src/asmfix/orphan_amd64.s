@@ -1,0 +1,4 @@
+// A second file, so stub-pairing diagnostics must point at the file the
+// TEXT block actually lives in.
+TEXT ·orphanText(SB), NOSPLIT, $0-8 // want "has no bodyless Go declaration"
+	RET

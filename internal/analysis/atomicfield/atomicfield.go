@@ -1,0 +1,247 @@
+// Package atomicfield enforces the repo's atomic-access discipline: a struct
+// field that is accessed atomically anywhere — either through sync/atomic
+// calls on its address or by being declared as one of the atomic wrapper
+// types (atomic.Int64, atomic.Uint64, ...) — must never be read or written
+// plainly anywhere else in the module. Mixing atomic and plain access is a
+// data race even when each side looks locally correct, and it is exactly the
+// kind of bug that survives -race runs that never hit the interleaving.
+//
+// For raw-atomic fields (those passed as &x.f to sync/atomic functions) every
+// other appearance of the field is a finding. For wrapper-typed fields the
+// atomicity lives in the type's methods, so method calls and taking the
+// field's address are fine; what gets flagged is copying the wrapper by value
+// or overwriting the whole field, both of which smuggle a plain 8-byte access
+// past the API.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name:       "atomicfield",
+	Doc:        "fields accessed via sync/atomic must never be accessed plainly",
+	ModuleWide: true,
+	Run:        run,
+}
+
+// wrapperTypes are the sync/atomic value types whose methods carry the
+// atomicity. Copying one by value is always a bug.
+var wrapperTypes = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true,
+	"Uint32": true, "Uint64": true, "Uintptr": true,
+	"Pointer": true, "Value": true,
+}
+
+func run(pass *analysis.Pass) error {
+	m := pass.Module
+
+	// Phase 1: find every field that participates in atomic access.
+	raw := make(map[*types.Var]bool)     // &x.f passed to a sync/atomic call
+	wrapper := make(map[*types.Var]bool) // field declared with an atomic wrapper type
+
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.StructType:
+					for _, f := range n.Fields.List {
+						for _, name := range f.Names {
+							fv, ok := pkg.Info.Defs[name].(*types.Var)
+							if ok && isWrapperType(fv.Type()) {
+								wrapper[fv] = true
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if !isAtomicCall(pkg.Info, n) {
+						return true
+					}
+					for _, arg := range n.Args {
+						if fv := addressedField(pkg.Info, arg); fv != nil {
+							raw[fv] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	if len(raw) == 0 && len(wrapper) == 0 {
+		return nil
+	}
+
+	// Phase 2: flag plain accesses.
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			parents := parentMap(file)
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SelectorExpr:
+					fv := selectedField(pkg.Info, n)
+					if fv == nil {
+						return true
+					}
+					switch {
+					case raw[fv]:
+						if !isAtomicArg(pkg.Info, parents, n) {
+							pass.Reportf(n.Sel.Pos(),
+								"atomicfield: field %s is accessed with sync/atomic elsewhere; plain access is a data race",
+								fieldName(fv))
+						}
+					case wrapper[fv]:
+						if kind := plainWrapperUse(parents, n); kind != "" {
+							pass.Reportf(n.Sel.Pos(),
+								"atomicfield: %s of atomic-typed field %s bypasses its atomicity",
+								kind, fieldName(fv))
+						}
+					}
+				case *ast.KeyValueExpr:
+					// Keyed struct-literal initialization writes the field
+					// without going through the atomic API.
+					key, ok := n.Key.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					fv, ok := pkg.Info.Uses[key].(*types.Var)
+					if !ok || !fv.IsField() {
+						return true
+					}
+					if raw[fv] {
+						pass.Reportf(key.Pos(),
+							"atomicfield: field %s is accessed with sync/atomic elsewhere; composite-literal write is a plain store",
+							fieldName(fv))
+					} else if wrapper[fv] {
+						pass.Reportf(key.Pos(),
+							"atomicfield: composite-literal write of atomic-typed field %s bypasses its atomicity",
+							fieldName(fv))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isWrapperType reports whether t is one of the sync/atomic value types.
+func isWrapperType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" && wrapperTypes[obj.Name()]
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// addressedField returns the struct field f when arg has the shape &x.f.
+func addressedField(info *types.Info, arg ast.Expr) *types.Var {
+	ue, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	return selectedField(info, sel)
+}
+
+// selectedField resolves sel to a struct field, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if fv, ok := s.Obj().(*types.Var); ok {
+			return fv
+		}
+	}
+	return nil
+}
+
+// isAtomicArg reports whether sel appears as &x.f directly inside a
+// sync/atomic call's argument list.
+func isAtomicArg(info *types.Info, parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) bool {
+	ue, ok := skipParens(parents, sel).(*ast.UnaryExpr)
+	if !ok || ue.Op != token.AND {
+		return false
+	}
+	call, ok := skipParens(parents, ue).(*ast.CallExpr)
+	return ok && isAtomicCall(info, call)
+}
+
+// plainWrapperUse classifies a use of a wrapper-typed field selector that
+// bypasses its methods; "" means the use is fine (method receiver or
+// address-of).
+func plainWrapperUse(parents map[ast.Node]ast.Node, sel *ast.SelectorExpr) string {
+	switch p := skipParens(parents, sel).(type) {
+	case *ast.SelectorExpr:
+		if p.X == sel || isParenOf(p.X, sel) {
+			return "" // x.f.Load() — the field is a method receiver
+		}
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return "" // &x.f — passing the pointer keeps atomicity
+		}
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if ast.Unparen(lhs) == sel {
+				return "whole-field write"
+			}
+		}
+	}
+	return "value copy"
+}
+
+func skipParens(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			return p
+		}
+		p = parents[pe]
+	}
+}
+
+func isParenOf(outer ast.Expr, inner ast.Expr) bool {
+	return ast.Unparen(outer) == inner
+}
+
+// parentMap records each node's parent for context-sensitive checks.
+func parentMap(file *ast.File) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func fieldName(fv *types.Var) string {
+	if fv.Pkg() != nil {
+		return fv.Pkg().Name() + "." + fv.Name()
+	}
+	return fv.Name()
+}

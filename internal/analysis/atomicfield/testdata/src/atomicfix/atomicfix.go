@@ -1,0 +1,45 @@
+// Package atomicfix mixes legal and illegal accesses to fields that are
+// atomic by convention (raw int64 + sync/atomic) and by type (atomic.Int64).
+package atomicfix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64 // raw field: accessed via sync/atomic in bump
+	gauge atomic.Int64
+	name  string // plain field, never atomic: untracked
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1) // canonical raw access: no diagnostic
+	c.gauge.Add(1)              // wrapper method call: no diagnostic
+	c.name = "ok"
+}
+
+func handoff(c *counters) *atomic.Int64 {
+	return &c.gauge // address-of keeps atomicity: no diagnostic
+}
+
+func race(c *counters) int64 {
+	c.hits++        // want "plain access is a data race"
+	return c.hits + // want "plain access is a data race"
+		c.gauge.Load()
+}
+
+func clobber(dst, src *counters) {
+	dst.gauge = // want "whole-field write of atomic-typed field"
+		src.gauge // want "value copy of atomic-typed field"
+}
+
+func build(seed int64) counters {
+	return counters{
+		hits: seed, // want "composite-literal write is a plain store"
+		name: "fresh",
+	}
+}
+
+func buildWrapper(g atomic.Int64) counters {
+	return counters{
+		gauge: g, // want "composite-literal write of atomic-typed field"
+	}
+}

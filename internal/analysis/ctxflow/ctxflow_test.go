@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), ctxflow.Analyzer,
+		"example/internal/serve/ctxfix", "example/pkg/free")
+}

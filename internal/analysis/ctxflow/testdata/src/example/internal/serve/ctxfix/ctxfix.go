@@ -1,0 +1,34 @@
+// Package ctxfix lives on an enforced import path (internal/serve) so every
+// root-context constructor needs a //pgmor:detach reason.
+package ctxfix
+
+import "context"
+
+var bg context.Context
+
+func plain() {
+	bg = context.Background() // want "context.Background"
+}
+
+func todo() {
+	bg = context.TODO() // want "context.TODO"
+}
+
+func uncancel(ctx context.Context) {
+	bg = context.WithoutCancel(ctx) // want "context.WithoutCancel"
+}
+
+//pgmor:detach fixture prober owns its own schedule
+func funcAnnotated() {
+	bg = context.Background() // function-level detach: no diagnostic
+}
+
+func lineAnnotated() {
+	//pgmor:detach this one call deliberately outlives the request
+	bg = context.Background() // line-level detach: no diagnostic
+}
+
+//pgmor:detach
+func bare() { // want "needs a reason"
+	bg = context.Background() // want "context.Background"
+}

@@ -1,0 +1,11 @@
+package ctxfix
+
+import "context"
+
+// Test files are exempt: a test drives the handler from outside any request,
+// so a fresh root context is expected, not a detachment. No wants here.
+func testHarnessRoot() context.Context {
+	return context.Background()
+}
+
+var _ = testHarnessRoot

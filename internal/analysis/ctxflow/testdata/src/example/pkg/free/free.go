@@ -1,0 +1,10 @@
+// Package free is outside the enforced request path: root contexts are fine.
+package free
+
+import "context"
+
+var bg context.Context
+
+func anywhere() {
+	bg = context.Background() // not an enforced package: no diagnostic
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The repo's annotation contract rides on //pgmor: directive comments:
+//
+//	//pgmor:noalloc            (func doc)  function must not allocate
+//	//pgmor:alloc <reason>     (line)      acknowledged cold-path allocation
+//	//pgmor:detach <reason>    (func doc or line) deliberate context detach
+//	//pgmor:alloctest <Name>   (test func doc)    dynamic alloc-check marker
+//
+// Directive comments follow the Go toolchain convention: no space after //,
+// so gofmt leaves them alone and godoc hides them.
+
+// Directive returns the argument of the first //pgmor:<name> directive in
+// the comment group, and whether one was present. The argument may be empty.
+func Directive(doc *ast.CommentGroup, name string) (arg string, ok bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, c := range doc.List {
+		if a, match := parseDirective(c.Text, name); match {
+			return a, true
+		}
+	}
+	return "", false
+}
+
+func parseDirective(comment, name string) (arg string, ok bool) {
+	text, found := strings.CutPrefix(comment, "//pgmor:")
+	if !found {
+		return "", false
+	}
+	text = strings.TrimSuffix(text, "*/")
+	head, rest, _ := strings.Cut(text, " ")
+	if head != name {
+		return "", false
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// LineDirectives indexes every //pgmor:<name> directive comment of a file by
+// the source line it governs: the comment's own line, and — for comments
+// that stand alone on their line — the following line, so a directive can
+// sit either at the end of the statement it acknowledges or directly above
+// it.
+type LineDirectives struct {
+	args map[int]string
+}
+
+// CollectLineDirectives scans one parsed file for //pgmor:<name> comments.
+func CollectLineDirectives(fset *token.FileSet, f *ast.File, name string) *LineDirectives {
+	ld := &LineDirectives{args: make(map[int]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			arg, ok := parseDirective(c.Text, name)
+			if !ok {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			ld.args[posn.Line] = arg
+			if posn.Column == 1 || onlyCommentOnLine(fset, f, c) {
+				ld.args[posn.Line+1] = arg
+			}
+		}
+	}
+	return ld
+}
+
+// onlyCommentOnLine reports whether the comment is the first token on its
+// line (i.e. a standalone directive line rather than a trailing comment).
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	cpos := fset.Position(c.Pos())
+	first := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !first {
+			return false
+		}
+		if n.Pos().IsValid() && n.Pos() < c.Pos() {
+			if p := fset.Position(n.Pos()); p.Line == cpos.Line {
+				first = false
+				return false
+			}
+		}
+		return true
+	})
+	return first
+}
+
+// At returns the directive argument governing the given position, if any.
+func (ld *LineDirectives) At(fset *token.FileSet, pos token.Pos) (arg string, ok bool) {
+	if ld == nil {
+		return "", false
+	}
+	arg, ok = ld.args[fset.Position(pos).Line]
+	return arg, ok
+}

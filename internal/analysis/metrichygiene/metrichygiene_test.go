@@ -1,0 +1,62 @@
+package metrichygiene_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metrichygiene"
+)
+
+var fixtureCfg = metrichygiene.Config{
+	PrefixFor:   map[string]string{"example/internal/serve": "pgserve_"},
+	PrefixOrder: []string{"example/internal/serve"},
+}
+
+func TestRegistrationRules(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), metrichygiene.New(fixtureCfg),
+		"obs", "example/internal/serve/metricsfix")
+}
+
+// TestDocSync points the analyzer at a synthetic module root whose README
+// and require list each drift from the registrations in one direction.
+func TestDocSync(t *testing.T) {
+	testdata := analysistest.TestData(t)
+	m := analysistest.Load(t, testdata, "obs", "example/internal/serve/docsync")
+	m.RootDir = filepath.Join(testdata, "root")
+
+	cfg := fixtureCfg
+	cfg.ReadmePath = "README.md"
+	cfg.RequireFiles = map[string]string{"pgserve_": "pgserve.require"}
+
+	diags, err := analysis.Run(m, []*analysis.Analyzer{metrichygiene.New(cfg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"metric pgserve_beta_total is not documented in the README.md metrics table",
+		"README.md documents metric pgserve_ghost_total which is not registered anywhere",
+		"metric pgserve_gamma_total is missing from the CI require list pgserve.require",
+		"pgserve.require requires metric pgserve_phantom_total which is not registered anywhere",
+	}
+	for _, w := range want {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing diagnostic containing %q", w)
+		}
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s: %s", d.Position(m.Fset), d.Message)
+		}
+		t.Errorf("got %d diagnostics, want %d", len(diags), len(want))
+	}
+}

@@ -1,0 +1,14 @@
+// Package docsync drives the README/require-list cross-checks: alpha is in
+// sync everywhere, beta is undocumented, gamma is unrequired, and the doc
+// files carry one orphan each.
+package docsync
+
+import "obs"
+
+func register(r *obs.Registry) {
+	r.Counter("pgserve_alpha_total", "documented and required")
+	r.Counter("pgserve_beta_total", "missing from the README table")
+	r.Counter("pgserve_gamma_total", "missing from the require list")
+	r.Counter("pgserve_delta_a_total", "documented via brace expansion")
+	r.Counter("pgserve_delta_b_total", "documented via brace expansion")
+}

@@ -1,0 +1,16 @@
+// Package metricsfix exercises the registration-site rules: constant names,
+// prefix, snake_case, uniqueness.
+package metricsfix
+
+import "obs"
+
+const promoted = "pgserve_promoted_total"
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter("pgserve_requests_total", "ok")           // no diagnostic
+	r.Counter(promoted, "constant-folded name is fine") // no diagnostic
+	r.Gauge("pgrouter_queue_depth", "wrong prefix")     // want "must carry the .pgserve_. prefix"
+	r.Counter("pgserve_BadCase_total", "uppercase")     // want "not snake_case"
+	r.Counter("pgserve_requests_total", "dup")          // want "already registered"
+	r.Counter(dynamic, "not constant")                  // want "must be a compile-time constant string"
+}

@@ -1,0 +1,27 @@
+package noalloc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "a")
+}
+
+// TestBareMarker covers the one diagnostic a want comment cannot sit next
+// to: a //pgmor:alloc with no reason (trailing text would become the reason).
+func TestBareMarker(t *testing.T) {
+	m := analysistest.Load(t, analysistest.TestData(t), "b")
+	diags, err := analysis.Run(m, []*analysis.Analyzer{noalloc.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "needs a reason") {
+		t.Fatalf("want exactly one needs-a-reason diagnostic, got %v", diags)
+	}
+}

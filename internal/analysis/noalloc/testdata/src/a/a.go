@@ -1,0 +1,135 @@
+// Package a exercises every construct the noalloc analyzer classifies, plus
+// the exemptions (returns, panics, self-append, markers) it must not flag.
+package a
+
+import "fmt"
+
+type point struct{ x, y int }
+
+type iface interface{ M() int }
+
+var (
+	sink     int
+	sinkAnyV any
+	leaked   []int
+)
+
+//pgmor:noalloc
+func useMake(n int) {
+	s := make([]int, n) // want "make allocates"
+	sink = len(s)
+}
+
+//pgmor:noalloc
+func useNew() {
+	p := new(point) // want "new allocates"
+	sink = p.x
+}
+
+//pgmor:noalloc
+func appendGrow(dst, src []int) {
+	dst = append(dst, 1)  // self-append reuses the backing array: no diagnostic
+	out := append(src, 2) // want "append without reuse"
+	sink = dst[0] + out[0]
+}
+
+//pgmor:noalloc
+func closures() {
+	f := func() int { return 1 } // want "closure literal allocates"
+	sink = f()                   // want "dynamic call cannot be proven allocation-free"
+}
+
+//pgmor:noalloc
+func spawn() {
+	go useNew() // want "go statement allocates a goroutine"
+}
+
+//pgmor:noalloc
+func literals() {
+	_ = []int{1, 2}            // want "slice literal allocates"
+	_ = map[string]int{"a": 1} // want "map literal allocates"
+	_ = &point{1, 2}           // want "address of composite literal allocates"
+}
+
+//pgmor:noalloc
+func concat(a, b string) {
+	s := a + b // want "string concatenation allocates"
+	sink = len(s)
+}
+
+//pgmor:noalloc
+func mapWrite(m map[string]int) {
+	m["k"] = 1 // want "map write may allocate"
+}
+
+//pgmor:noalloc
+func convert(b []byte) {
+	s := string(b) // want "string conversion allocates"
+	sink = len(s)
+}
+
+//pgmor:noalloc
+func boxAssign(v int) {
+	sinkAnyV = v // want "value boxed into interface assignment"
+}
+
+func sinkAny(v any) { sinkAnyV = v }
+
+//pgmor:noalloc
+func boxArg(v int) {
+	sinkAny(v) // want "argument boxed into interface parameter"
+}
+
+//pgmor:noalloc
+func format(x int) {
+	s := fmt.Sprintf("%d", x) // want "call to fmt.Sprintf allocates"
+	sink = len(s)
+}
+
+func fillLeaked() {
+	leaked = make([]int, 8)
+}
+
+func indirect() {
+	fillLeaked()
+}
+
+//pgmor:noalloc
+func transitive() {
+	indirect() // want "call to a.indirect allocates"
+}
+
+//pgmor:noalloc
+func callIface(v iface) {
+	sink = v.M() // want "dynamic call cannot be proven allocation-free"
+}
+
+//pgmor:noalloc
+func returnsFresh(n int) []int {
+	return make([]int, n) // escaping result: the caller's budget, no diagnostic
+}
+
+//pgmor:noalloc
+func guard(ok bool) {
+	if !ok {
+		panic(fmt.Errorf("guard tripped")) // panic arguments are exempt
+	}
+}
+
+//pgmor:noalloc
+func coldPath(ok bool) {
+	if !ok {
+		buf := make([]byte, 64) //pgmor:alloc cold failure path, runs at most once per incident
+		sink = len(buf)
+	}
+}
+
+//pgmor:noalloc
+func tidy() {
+	//pgmor:alloc claims an allocation that is not there // want "stale pgmor:alloc marker"
+	sink++
+}
+
+func unannotated() {
+	_ = make([]int, 4) // unannotated function: allocation is fine, no diagnostic
+}

@@ -1,0 +1,12 @@
+// Package b holds the one case the want-comment syntax cannot express: a
+// bare //pgmor:alloc marker, whose line cannot also carry a want comment
+// because any trailing text would become the marker's reason.
+package b
+
+var sink int
+
+//pgmor:noalloc
+func bareMarker() {
+	//pgmor:alloc
+	sink = len(make([]byte, 8))
+}

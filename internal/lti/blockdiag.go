@@ -117,6 +117,8 @@ func (bf *blockFactor) column() ([]complex128, error) {
 // columnInto is column with caller-provided buffers: the solve lands in
 // x[:order] and Lᵢ·x is accumulated into dst. The allocation-free core of
 // the serving layer's factored evaluation path.
+//
+//pgmor:noalloc
 func (bf *blockFactor) columnInto(dst, x []complex128) error {
 	x = x[:len(bf.b)]
 	if err := bf.lu.Solve(x, bf.b); err != nil {
@@ -136,6 +138,8 @@ func (bf *blockFactor) columnInto(dst, x []complex128) error {
 // addMatColumn is columnInto accumulating into column j of h instead of a
 // contiguous slice, so full-matrix evaluation needs no per-call column
 // temporary.
+//
+//pgmor:noalloc
 func (bf *blockFactor) addMatColumn(h *dense.Mat[complex128], j int, x []complex128) error {
 	x = x[:len(bf.b)]
 	if err := bf.lu.Solve(x, bf.b); err != nil {
@@ -215,6 +219,8 @@ func (f *BlockDiagFactors) Eval() (*dense.Mat[complex128], error) {
 
 // EvalInto is Eval with caller-provided storage: h must be P×M (it is
 // zeroed), scratch at least ScratchLen long. Zero allocations per call.
+//
+//pgmor:noalloc
 func (f *BlockDiagFactors) EvalInto(h *dense.Mat[complex128], scratch []complex128) error {
 	if f.col >= 0 {
 		return fmt.Errorf("lti: column-%d factorization cannot evaluate the full matrix", f.col)
@@ -247,6 +253,8 @@ func (f *BlockDiagFactors) EvalColumn(j int) ([]complex128, error) {
 // using scratch (at least ScratchLen long) for the block solves. Zero
 // allocations per call — the factored fast path the serving layer pools
 // buffers for.
+//
+//pgmor:noalloc
 func (f *BlockDiagFactors) EvalColumnInto(dst, scratch []complex128, j int) error {
 	if j < 0 || j >= f.M {
 		return fmt.Errorf("lti: column %d out of range %d", j, f.M)

@@ -398,6 +398,8 @@ func probeFrequencies(poles []complex128) []complex128 {
 
 // accumulateColumn adds this block's transfer column at s into dst
 // (length p): dst += Σₖ Rₖ/(s−λₖ) + D. Zero allocations, O(q'·p) flops.
+//
+//pgmor:noalloc
 func (mb *ModalBlock) accumulateColumn(dst []complex128, s complex128) {
 	for k, lam := range mb.Poles {
 		c := 1 / (s - lam)
@@ -414,6 +416,8 @@ func (mb *ModalBlock) accumulateColumn(dst []complex128, s complex128) {
 // EvalColumnInto computes column j of H(s) into dst (length P), using the
 // modal form for modal blocks and a fresh LU for fallback blocks. With all
 // blocks modal the call performs zero allocations and takes zero locks.
+//
+//pgmor:noalloc
 func (ms *ModalSystem) EvalColumnInto(dst []complex128, s complex128, j int) error {
 	if j < 0 || j >= ms.BD.M {
 		return fmt.Errorf("lti: column %d out of range %d", j, ms.BD.M)
@@ -435,6 +439,7 @@ func (ms *ModalSystem) EvalColumnInto(dst []complex128, s complex128, j int) err
 			modalBlocks++
 			continue
 		}
+		//pgmor:alloc non-modal blocks fall back to a one-shot LU; cold by construction
 		if err := ms.fallbackColumn(dst, i, s); err != nil {
 			return err
 		}
@@ -474,9 +479,13 @@ func (ms *ModalSystem) EvalColumn(s complex128, j int) ([]complex128, error) {
 }
 
 // Eval computes the full p×m transfer matrix H(s) from the modal forms.
+// The result matrix and one column of scratch are the only allocations; the
+// per-block accumulation loop itself must stay allocation-free.
+//
+//pgmor:noalloc
 func (ms *ModalSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
-	h := dense.NewMat[complex128](ms.BD.P, ms.BD.M)
-	col := make([]complex128, ms.BD.P)
+	h := dense.NewMat[complex128](ms.BD.P, ms.BD.M) //pgmor:alloc the result matrix is the caller's to keep
+	col := make([]complex128, ms.BD.P)              //pgmor:alloc one column of scratch per call, O(P)
 	var modalBlocks int64
 	for i := range ms.Blocks {
 		mb := &ms.Blocks[i]
@@ -486,6 +495,7 @@ func (ms *ModalSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
 		if mb.Modal {
 			mb.accumulateColumn(col, s)
 			modalBlocks++
+			//pgmor:alloc non-modal blocks fall back to a one-shot LU; cold by construction
 		} else if err := ms.fallbackColumn(col, i, s); err != nil {
 			return nil, err
 		}
@@ -504,6 +514,8 @@ func (ms *ModalSystem) Eval(s complex128) (*dense.Mat[complex128], error) {
 // vectorized residue pass that replaces per-frequency factorization: each
 // pole contributes to all frequencies in one inner loop, O(q'·len(omegas))
 // total, with fallback blocks paying one LU per frequency.
+//
+//pgmor:noalloc
 func (ms *ModalSystem) SweepEntryInto(dst []complex128, row, col int, omegas []float64) error {
 	if row < 0 || row >= ms.BD.P || col < 0 || col >= ms.BD.M {
 		return fmt.Errorf("lti: entry (%d,%d) out of range %d×%d", row, col, ms.BD.P, ms.BD.M)
@@ -539,12 +551,13 @@ func (ms *ModalSystem) SweepEntryInto(dst []complex128, row, col int, omegas []f
 			continue
 		}
 		if scratch == nil {
-			scratch = make([]complex128, ms.BD.P)
+			scratch = make([]complex128, ms.BD.P) //pgmor:alloc lazy fallback scratch; never taken on fully-modal systems
 		}
 		for w, omega := range omegas {
 			for r := range scratch {
 				scratch[r] = 0
 			}
+			//pgmor:alloc non-modal blocks fall back to one LU per frequency; cold by construction
 			if err := ms.fallbackColumn(scratch, i, complex(0, omega)); err != nil {
 				return err
 			}

@@ -222,6 +222,9 @@ func TestModalSweepEntryMatchesEval(t *testing.T) {
 
 // TestModalEvalColumnIntoAllocs verifies the headline property: a modal
 // column evaluation performs zero allocations.
+//
+//pgmor:alloctest ModalSystem.EvalColumnInto
+//pgmor:alloctest ModalBlock.accumulateColumn
 func TestModalEvalColumnIntoAllocs(t *testing.T) {
 	bd := rcBlockDiag()
 	ms, err := bd.Modalize()
@@ -242,6 +245,9 @@ func TestModalEvalColumnIntoAllocs(t *testing.T) {
 // TestFactoredEvalColumnIntoAllocs pins the reduced-allocation factored
 // path: with pooled buffers a cached-factor column evaluation is
 // allocation-free too.
+//
+//pgmor:alloctest BlockDiagFactors.EvalColumnInto
+//pgmor:alloctest blockFactor.columnInto
 func TestFactoredEvalColumnIntoAllocs(t *testing.T) {
 	bd := rcBlockDiag()
 	f, err := bd.Factorize(complex(0, 3))

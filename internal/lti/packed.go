@@ -123,6 +123,8 @@ func (mp *ModalPacked) MemBytes() int64 {
 // len(omegas) modal evals once per call no matter how many entries share it —
 // the batching win made visible — and each fallback block len(omegas)
 // factored evals.
+//
+//pgmor:noalloc
 func (mp *ModalPacked) SweepEntriesInto(dst []complex128, entries [][2]int, omegas []float64) error {
 	nw := len(omegas)
 	if len(dst) != len(entries)*nw {
@@ -142,12 +144,12 @@ func (mp *ModalPacked) SweepEntriesInto(dst []complex128, entries [][2]int, omeg
 	}
 	// Group entry indices by column so each column's pole data is walked
 	// exactly once.
-	byCol := make(map[int][]int, len(entries))
+	byCol := make(map[int][]int, len(entries)) //pgmor:alloc per-call column grouping, O(entries); amortized over the whole batch
 	for i, e := range entries {
-		byCol[e[1]] = append(byCol[e[1]], i)
+		byCol[e[1]] = append(byCol[e[1]], i) //pgmor:alloc builds the column grouping above
 	}
-	recip := make([]complex128, nw)
-	var colBuf []complex128 // lazily sized; only fallback blocks need it
+	recip := make([]complex128, nw) //pgmor:alloc one reciprocal row per call, O(omegas); amortized over the whole batch
+	var colBuf []complex128         // lazily sized; only fallback blocks need it
 	var modalEvals int64
 	for col, idxs := range byCol {
 		pc := &mp.cols[col]
@@ -179,12 +181,13 @@ func (mp *ModalPacked) SweepEntriesInto(dst []complex128, entries [][2]int, omeg
 		}
 		for _, bi := range pc.fallback {
 			if colBuf == nil {
-				colBuf = make([]complex128, mp.p)
+				colBuf = make([]complex128, mp.p) //pgmor:alloc lazy fallback scratch; never taken on fully-modal systems
 			}
 			for w, omega := range omegas {
 				for r := range colBuf {
 					colBuf[r] = 0
 				}
+				//pgmor:alloc non-modal blocks fall back to one LU per frequency; cold by construction
 				if err := mp.ms.fallbackColumn(colBuf, bi, complex(0, omega)); err != nil {
 					return err
 				}
@@ -215,6 +218,8 @@ func (mp *ModalPacked) modalBlocksOn(col int) int {
 // dst laid out point-major: dst[k·P+r] is output r at svals[k]. One
 // pole-major pass streams each residue row once across all s-points, so the
 // per-pole data is loaded O(1) times instead of O(len(svals)) times.
+//
+//pgmor:noalloc
 func (mp *ModalPacked) EvalColumnsInto(dst []complex128, col int, svals []complex128) error {
 	if col < 0 || col >= mp.m {
 		return fmt.Errorf("lti: column %d out of range %d", col, mp.m)
@@ -254,6 +259,7 @@ func (mp *ModalPacked) EvalColumnsInto(dst []complex128, col int, svals []comple
 	}
 	for _, bi := range pc.fallback {
 		for si, s := range svals {
+			//pgmor:alloc non-modal blocks fall back to one LU per point; cold by construction
 			if err := mp.ms.fallbackColumn(dst[si*p:(si+1)*p], bi, s); err != nil {
 				return err
 			}

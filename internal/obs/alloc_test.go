@@ -1,0 +1,30 @@
+package obs
+
+import "testing"
+
+// TestInstrumentAllocs: the unlabeled instrument hot paths — the methods the
+// serving loop calls per request — are allocation-free.
+//
+//pgmor:alloctest Counter.Inc
+//pgmor:alloctest Counter.Add
+//pgmor:alloctest Gauge.Set
+//pgmor:alloctest Gauge.Add
+//pgmor:alloctest Histogram.Observe
+func TestInstrumentAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("allocguard_count_total", "fixture")
+	g := reg.Gauge("allocguard_level", "fixture")
+	h := reg.Histogram("allocguard_latency_seconds", "fixture", []float64{0.01, 0.1, 1})
+	cases := map[string]func(){
+		"Counter.Inc":       func() { c.Inc() },
+		"Counter.Add":       func() { c.Add(3) },
+		"Gauge.Set":         func() { g.Set(42) },
+		"Gauge.Add":         func() { g.Add(-1) },
+		"Histogram.Observe": func() { h.Observe(0.05) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+}

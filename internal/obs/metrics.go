@@ -34,6 +34,8 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds one.
+//
+//pgmor:noalloc
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -41,6 +43,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n; negative deltas are ignored (counters are monotone).
+//
+//pgmor:noalloc
 func (c *Counter) Add(n int64) {
 	if c != nil && n > 0 {
 		c.v.Add(n)
@@ -59,6 +63,8 @@ func (c *Counter) Value() int64 {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores v.
+//
+//pgmor:noalloc
 func (g *Gauge) Set(v int64) {
 	if g != nil {
 		g.v.Store(v)
@@ -66,6 +72,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add moves the gauge by n (negative allowed).
+//
+//pgmor:noalloc
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -99,6 +107,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//pgmor:noalloc
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -151,6 +151,7 @@ func (p *prober) run() {
 }
 
 func (p *prober) probe(rep *replica) {
+	//pgmor:detach the prober owns its own schedule; probes are not tied to any client request
 	ctx, cancel := context.WithTimeout(context.Background(), p.client.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.addr+"/healthz", nil)

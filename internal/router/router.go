@@ -688,6 +688,7 @@ func (rt *Router) handleReduce(w http.ResponseWriter, r *http.Request) {
 	}()
 	// The leader detaches from its own client context: followers are waiting
 	// on this build, so the leader's disconnect must not fail the herd.
+	//pgmor:detach single-flight leader must outlive its own client so waiting followers still get the build
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
 	call.resp, _, call.err = rt.do(ctx, key, preq)

@@ -171,6 +171,7 @@ func (c *SweepCoalescer) SweepEntries(ctx context.Context, m *Model, entries []E
 	}
 	execCtx := ctx
 	if len(batch) > 1 {
+		//pgmor:detach a coalesced batch serves many requests; one caller's cancellation must not fail the rest
 		execCtx = context.WithoutCancel(ctx)
 		c.sharedBatches.Add(1)
 		c.sharedRequests.Add(int64(len(batch)))
@@ -299,6 +300,7 @@ func (c *advanceCoalescer) Advance(ctx context.Context, m *Model, dt float64, me
 
 	execCtx := ctx
 	if len(batch) > 1 {
+		//pgmor:detach a grouped advance serves many sessions; one caller's cancellation must not fail the rest
 		execCtx = context.WithoutCancel(ctx)
 		c.groupedBatches.Add(1)
 		c.groupedSessions.Add(int64(len(batch)))

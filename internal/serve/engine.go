@@ -103,6 +103,7 @@ func (e *Engine) submit(f func()) {
 // order) is returned. Map must not be called from inside a pool task — that
 // would deadlock a fully-loaded pool.
 func (e *Engine) Map(n int, fn func(i int) error) error {
+	//pgmor:detach Map is the explicitly non-cancelable variant; callers that have a request context use MapCtx
 	return e.MapCtx(context.Background(), n, fn)
 }
 

@@ -388,6 +388,8 @@ func advanceGroupShard(members []*Stepper, sh *groupShard, n int, inputs []Input
 // same block/mode/row order, so the trajectories match independent advances
 // (see the numerical contract in kernels.go: a dropped ±0·x term can flip a
 // zero's sign but never a value).
+//
+//pgmor:noalloc
 func advanceGroupShardFused(members []*Stepper, sh *groupShard, n int, inputs []Input, results []*Result) {
 	s0 := sh.lo
 	ns := sh.hi - sh.lo
@@ -405,7 +407,7 @@ func advanceGroupShardFused(members []*Stepper, sh *groupShard, n int, inputs []
 	}
 	// Left endpoints under the (possibly new) drives, exactly as Advance.
 	for s := s0; s < sh.hi; s++ {
-		inputs[s](members[s].Time(), members[s].uNow)
+		inputs[s](members[s].Time(), members[s].uNow) //pgmor:alloc caller-provided input callback; its allocation budget is the caller's
 	}
 	// Stage the left-endpoint drives port-major once; after each step the
 	// staged right endpoint becomes the next left endpoint by buffer swap,
@@ -422,7 +424,7 @@ func advanceGroupShardFused(members []*Stepper, sh *groupShard, n int, inputs []
 			st.k++
 			t := float64(st.k) * st.h
 			results[s].T[i] = t
-			inputs[s](t, st.uNext)
+			inputs[s](t, st.uNext) //pgmor:alloc caller-provided input callback; its allocation budget is the caller's
 		}
 		for s := 0; s < ns; s++ {
 			st := members[s0+s]

@@ -16,6 +16,8 @@ package sim
 
 // axpyRealRef: y[i] += zr[i]*a - zi[i]*c — the real part of accumulating
 // residue·z across one mode row, sessions innermost.
+//
+//pgmor:noalloc
 func axpyRealRef(y, zr, zi []float64, a, c float64) {
 	zr = zr[:len(y)]
 	zi = zi[:len(y)]
@@ -29,6 +31,8 @@ func axpyRealRef(y, zr, zi []float64, a, c float64) {
 // yb[r*ns+s] += zr[k*ns+s]*rr[k*p+r] - zi[k*ns+s]*ri[k*p+r]. Equivalent to
 // p×q axpyReal calls; the fused form exists so the assembly version pays one
 // call and one bounds check per block instead of per (mode, row).
+//
+//pgmor:noalloc
 func accumBlockRef(yb, zr, zi, rr, ri []float64, q, p, ns int) {
 	for k := 0; k < q; k++ {
 		zrk := zr[k*ns : (k+1)*ns]
@@ -46,6 +50,8 @@ func accumBlockRef(yb, zr, zi, rr, ri []float64, q, p, ns int) {
 //
 // — the split form of z' = e^{λh}·z + cu0·fNow + cu1·fNxt with real-valued
 // drives, accumulated strictly left to right.
+//
+//pgmor:noalloc
 func stepModesRef(zr, zi, u0, u1 []float64, er, ei, f0r, f0i, f1r, f1i float64) {
 	zi = zi[:len(zr)]
 	u0 = u0[:len(zr)]

@@ -41,6 +41,7 @@ func hasAVX2() bool {
 
 var useAVX2 = hasAVX2()
 
+//pgmor:noalloc
 func axpyReal(y, zr, zi []float64, a, c float64) {
 	if useAVX2 && len(y) >= 8 {
 		axpyRealAVX2(y, zr, zi, a, c)
@@ -49,6 +50,7 @@ func axpyReal(y, zr, zi []float64, a, c float64) {
 	axpyRealRef(y, zr, zi, a, c)
 }
 
+//pgmor:noalloc
 func stepModes(zr, zi, u0, u1 []float64, er, ei, f0r, f0i, f1r, f1i float64) {
 	if useAVX2 && len(zr) >= 4 {
 		stepModesAVX2(zr, zi, u0, u1, er, ei, f0r, f0i, f1r, f1i)
@@ -57,6 +59,7 @@ func stepModes(zr, zi, u0, u1 []float64, er, ei, f0r, f0i, f1r, f1i float64) {
 	stepModesRef(zr, zi, u0, u1, er, ei, f0r, f0i, f1r, f1i)
 }
 
+//pgmor:noalloc
 func accumBlock(yb, zr, zi, rr, ri []float64, q, p, ns int) {
 	if useAVX2 && ns >= 4 {
 		// The assembly walks raw pointers; keep the slice-shape invariants

@@ -146,6 +146,8 @@ func (st *Stepper) Outputs() int { return st.p }
 
 // outputInto accumulates the output row from the current block states and
 // the current left-endpoint inputs into y (length p), zeroing it first.
+//
+//pgmor:noalloc
 func (st *Stepper) outputInto(y []float64) {
 	for r := range y {
 		y[r] = 0
@@ -171,6 +173,8 @@ func (st *Stepper) output() []float64 {
 // free function over the stepper's stable slices so shard workers can run it
 // without holding the *Stepper itself alive (which would defeat the
 // runtime.AddCleanup leak backstop).
+//
+//pgmor:noalloc
 func stepBlock(b *stepperBlock, uNow, uNext []float64) {
 	if b.modal != nil {
 		b.modal.step(uNow[b.modal.input], uNext[b.modal.input])
@@ -242,6 +246,8 @@ func (sw *shardWorkers) close() {
 
 // stepAll advances every block one step, sharded across the persistent
 // workers when configured.
+//
+//pgmor:noalloc
 func (st *Stepper) stepAll() {
 	if st.workers == 1 {
 		for i := range st.blocks {
@@ -250,10 +256,11 @@ func (st *Stepper) stepAll() {
 		return
 	}
 	if st.shards == nil {
-		st.shards = newShardWorkers(st.blocks, st.uNow, st.uNext, st.workers)
+		st.shards = newShardWorkers(st.blocks, st.uNow, st.uNext, st.workers) //pgmor:alloc one-time lazy shard-worker spawn on the first sharded step
 		// Backstop for steppers dropped without Close: the workers hold
 		// only the block/input slices, so an unreachable Stepper triggers
 		// the cleanup and the goroutines exit.
+		//pgmor:alloc one-time leak-backstop registration alongside the shard spawn
 		runtime.AddCleanup(st, func(sw *shardWorkers) { sw.close() }, st.shards)
 	}
 	st.shards.step()

@@ -296,6 +296,10 @@ func TestStepperCloseRestart(t *testing.T) {
 // performs O(1) allocations — one Result, its T and Y headers, one shared
 // row backing array — independent of n, where it used to allocate one row
 // per step.
+//
+//pgmor:alloctest Stepper.stepAll
+//pgmor:alloctest stepBlock
+//pgmor:alloctest Stepper.outputInto
 func TestStepperAdvanceAllocs(t *testing.T) {
 	_, ms := modalTestSystem(t)
 	st, err := NewStepper(ms, StepperOptions{Dt: 0.01})
