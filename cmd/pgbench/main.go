@@ -19,7 +19,10 @@
 //	pgbench -exp fleet               router-tier throughput scaling and
 //	                                 flapping-replica tail latency (writes
 //	                                 BENCH_fleet.json)
-//	pgbench -exp all                 everything
+//	pgbench -exp scale -maxn 100000  sparse-first reduction time vs n on the
+//	                                 multiscale ladder (writes
+//	                                 BENCH_scale.json; not part of -exp all)
+//	pgbench -exp all                 everything above
 //
 // At -scale 1 the instances match the paper's node/port counts (ckt5 is a
 // 1.7M-node build; expect a long run). The -budget flag emulates the
@@ -43,7 +46,8 @@ func main() {
 	budgetGiB := flag.Float64("budget", 4, "dense-basis memory budget in GiB (Table II breakdown emulation)")
 	ckts := flag.String("ckts", "", "comma-separated subset for table2 (default all five)")
 	workers := flag.Int("workers", 0, "BDSM workers (0 = GOMAXPROCS)")
-	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session/obs/batch/fleet experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session, BENCH_obs.json when -exp obs, BENCH_batch.json when -exp batch, BENCH_fleet.json when -exp fleet; unset otherwise so 'pgbench -exp all' has no file side effects)")
+	benchJSON := flag.String("benchjson", "", "output path for the perf/interp/session/obs/batch/fleet/scale experiments' machine-readable record (defaults: BENCH_modal.json when -exp perf, BENCH_interp.json when -exp interp, BENCH_session.json when -exp session, BENCH_obs.json when -exp obs, BENCH_batch.json when -exp batch, BENCH_fleet.json when -exp fleet, BENCH_scale.json when -exp scale; unset otherwise so 'pgbench -exp all' has no file side effects)")
+	maxN := flag.Int("maxn", 100000, "top rung of the -exp scale ladder in grid nodes")
 	flag.Parse()
 
 	cfg := bench.Config{
@@ -249,8 +253,29 @@ func main() {
 			return nil
 		})
 	}
+	if *exp == "scale" {
+		// The scale ladder is opt-in only (not part of -exp all): its top
+		// rung assembles and reduces a -maxn-node multiscale grid.
+		any = true
+		jsonPath := *benchJSON
+		if jsonPath == "" {
+			jsonPath = "BENCH_scale.json"
+		}
+		run("Scale: sparse-first reduction vs n", func() error {
+			res, err := bench.Scale(cfg, *maxN)
+			if err != nil {
+				return err
+			}
+			res.Render(os.Stdout)
+			if err := res.WriteJSON(jsonPath); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", jsonPath)
+			return nil
+		})
+	}
 	if !any {
-		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|obs|batch|fleet|all)\n", *exp)
+		fmt.Fprintf(os.Stderr, "pgbench: unknown experiment %q (want table1|table2|fig4|fig5|ablation|perf|interp|session|obs|batch|fleet|scale|all)\n", *exp)
 		fmt.Fprintf(os.Stderr, "benchmarks: %s\n", strings.Join(grid.Names(), ", "))
 		os.Exit(2)
 	}

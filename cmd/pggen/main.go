@@ -5,6 +5,13 @@
 //	pggen -grid ckt1 -scale 0.25            # netlist on stdout
 //	pggen -grid ckt3 -scale 0.1 -rconly     # RC-only variant
 //	pggen -grid ckt2 -stats                 # just the element counts
+//
+// With -multiscale it instead generates the transmission+distribution
+// ladder instances used by `pgbench -exp scale`: a purely resistive
+// backbone feeding RC subgrids, sized to roughly -nodes total states:
+//
+//	pggen -multiscale -nodes 100000 -stats  # shape of the 10⁵-node rung
+//	pggen -multiscale -nodes 10000          # netlist on stdout
 package main
 
 import (
@@ -20,8 +27,31 @@ func main() {
 	name := flag.String("grid", "ckt1", "benchmark name (ckt1..ckt5)")
 	scale := flag.Float64("scale", 0.25, "scale factor (0,1]")
 	rcOnly := flag.Bool("rconly", false, "omit package inductance (SPD pencil)")
+	multiscale := flag.Bool("multiscale", false, "generate a multiscale transmission+distribution instance instead of a ckt benchmark")
+	nodes := flag.Int("nodes", 100000, "approximate total node count for -multiscale")
 	stats := flag.Bool("stats", false, "print element counts instead of the netlist")
 	flag.Parse()
+
+	if *multiscale {
+		cfg, err := grid.MultiscaleBenchmark(*nodes)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Printf("%s: backbone ring of %d static nodes (chords every %d), %d subgrids of %d×%d, %d ports\n",
+				cfg.Name, cfg.TNodes, cfg.TChord, cfg.Grids, cfg.GX, cfg.GY, cfg.NumPorts())
+			fmt.Printf("MNA states: %d\n", cfg.NumNodes())
+			return
+		}
+		nl, err := cfg.Netlist()
+		if err != nil {
+			fatal(err)
+		}
+		if err := circuit.WriteNetlist(os.Stdout, nl); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	cfg, err := grid.Benchmark(*name, *scale)
 	if err != nil {

@@ -25,6 +25,7 @@ func main() {
 	out := flag.String("out", "rom.bin", "output ROM path")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	iterative := flag.Bool("iterative", false, "use the memory-streaming iterative solver instead of sparse LU")
+	wardOn := flag.Bool("ward", true, "run the exact Ward/Schur pre-reduction before the Krylov projection")
 	flag.Parse()
 
 	var (
@@ -57,7 +58,8 @@ func main() {
 		fatal(err)
 	}
 
-	opts := repro.BDSMOptions{S0: *s0, Moments: *l, Workers: *workers}
+	opts := repro.BDSMOptions{S0: *s0, Moments: *l, Workers: *workers,
+		Backend: repro.BackendAuto, WardReduce: *wardOn}
 	if *iterative {
 		opts.Backend = repro.BackendIterative
 	}
@@ -71,6 +73,10 @@ func main() {
 	q, _, _ := rom.Dims()
 	fmt.Printf("reduced %d states / %d ports / %d outputs -> order-%d block-diagonal ROM (%d blocks)\n",
 		n, m, p, q, len(rom.Blocks))
+	if *wardOn {
+		fmt.Printf("ward pre-reduction: eliminated %d static states (%d boundary, backend %s)\n",
+			stats.Ward.External, stats.Ward.Boundary, stats.Ward.Backend)
+	}
 	fmt.Printf("pencil solves: %d, ortho dot products: %d, factor fill: %d nnz\n",
 		stats.PencilSolves, stats.Ortho.DotProducts, stats.FactorNNZ)
 

@@ -29,6 +29,7 @@ import (
 	"repro/internal/krylov"
 	"repro/internal/lti"
 	"repro/internal/sparse"
+	"repro/internal/ward"
 )
 
 // DefaultS0 is the default real expansion point. Power-grid signal content
@@ -69,15 +70,31 @@ type Options struct {
 	// keeps the paper's fixed order-l blocks (only exact deflation stops a
 	// chain).
 	TruncTol float64
+	// WardReduce enables the Ward/Schur pre-reduction stage: static states
+	// (no C, B, or L entries) are eliminated exactly by a sparse Schur
+	// complement before the Krylov projection runs, so BDSM cost scales
+	// with the dynamic part of the grid rather than the full netlist. The
+	// stage is exact (the pre-reduced system has the same transfer matrix)
+	// and falls back to the unreduced system when nothing is eliminable, so
+	// it is safe to enable unconditionally.
+	WardReduce bool
 	// Stats, when non-nil, receives cost accounting for the reduction.
 	Stats *Stats
 	// OnPhase, when non-nil, is called once per completed reduction phase
-	// with its wall-clock duration: "factor" (pencil factorization, step 2)
-	// and "krylov" (basis construction + congruence, steps 3–5). Serving
-	// layers use it to feed per-phase latency histograms without coupling
-	// this package to any metrics system.
+	// with its wall-clock duration. Every reduction reports each label
+	// exactly once — "partition" and "schur" (Ward pre-reduction), "factor"
+	// (pencil factorization, step 2), and "krylov" (basis construction +
+	// congruence, steps 3–5) — with a zero duration for stages that were
+	// skipped or fell back, never a stale clock inherited from the previous
+	// stage. Serving layers use it to feed per-phase latency histograms
+	// without coupling this package to any metrics system.
 	OnPhase func(phase string, d time.Duration)
 }
+
+// Phases lists every OnPhase label this package reports, in pipeline order.
+// Serving layers pre-register histogram series from it so skipped stages
+// still show an explicit zero observation.
+var Phases = []string{"partition", "schur", "factor", "krylov"}
 
 // Normalize applies the documented defaults in place (S0, Moments, Workers).
 // Reduce calls it internally; callers that key caches or model repositories
@@ -116,6 +133,9 @@ type Stats struct {
 	// BDSM streams one splitted system per worker, so the peak is
 	// workers·n·l·8 bytes — independent of the port count m.
 	PeakBasisBytes int64
+	// Ward reports the pre-reduction stage's shape and cost. Zero-valued
+	// when Options.WardReduce is off.
+	Ward ward.Stats
 }
 
 // Reduce runs BDSM (Algorithm 1) on the descriptor system and returns the
@@ -124,10 +144,35 @@ type Stats struct {
 // yield blocks smaller than l (exact reduction of that column).
 func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
 	opts.Normalize()
-	n, m, p := sys.Dims()
-	if m == 0 {
+	if _, m, _ := sys.Dims(); m == 0 {
 		return nil, fmt.Errorf("core: system has no input ports")
 	}
+	phase := func(name string, d time.Duration) {
+		if opts.OnPhase != nil {
+			opts.OnPhase(name, d)
+		}
+	}
+
+	// Step 0 (this library's extension): Ward/Schur pre-reduction. Exact,
+	// so downstream moment matching is unaffected; a disabled or no-op
+	// stage still reports its phases, as zero, per the OnPhase contract.
+	if opts.WardReduce {
+		wres, err := ward.Reduce(sys, ward.Options{LU: opts.LU, Workers: opts.Workers})
+		if err != nil {
+			return nil, fmt.Errorf("core: ward pre-reduction: %w", err)
+		}
+		sys = wres.Sys
+		phase("partition", wres.Stats.PartitionTime)
+		phase("schur", wres.Stats.SchurTime)
+		if opts.Stats != nil {
+			opts.Stats.Ward = wres.Stats
+		}
+	} else {
+		phase("partition", 0)
+		phase("schur", 0)
+	}
+
+	n, m, p := sys.Dims()
 	points := opts.Points
 	if len(points) == 0 {
 		points = []float64{opts.S0}
@@ -149,9 +194,7 @@ func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
 		factorNNZ += op.FactorNNZ
 	}
 	factorTime := time.Since(tFactor)
-	if opts.OnPhase != nil {
-		opts.OnPhase("factor", factorTime)
-	}
+	phase("factor", factorTime)
 
 	// Steps 3–5: per splitted system, build the thin basis V⁽ⁱ⁾ and project.
 	// Each splitted system is independent — BDSM's cluster-and-
@@ -205,9 +248,7 @@ func Reduce(sys *lti.SparseSystem, opts Options) (*lti.BlockDiagSystem, error) {
 		return nil, fmt.Errorf("core: input matrix B is zero; nothing to reduce")
 	}
 	reduceTime := time.Since(tReduce)
-	if opts.OnPhase != nil {
-		opts.OnPhase("krylov", reduceTime)
-	}
+	phase("krylov", reduceTime)
 
 	if opts.Stats != nil {
 		st := opts.Stats

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/cmplx"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/lti"
+)
+
+// TestReducePhaseContract pins the OnPhase reporting rules: every label in
+// Phases is reported exactly once per reduction, in pipeline order, with
+// explicit zeros for the Ward stages when WardReduce is off — never a
+// missing label and never a stale clock inherited from the previous stage.
+func TestReducePhaseContract(t *testing.T) {
+	sys := testGrid(t, 6, 5, 2, 3)
+	for _, wardOn := range []bool{false, true} {
+		var order []string
+		durs := map[string]time.Duration{}
+		counts := map[string]int{}
+		_, err := Reduce(sys, Options{Moments: 3, WardReduce: wardOn,
+			OnPhase: func(ph string, d time.Duration) {
+				order = append(order, ph)
+				durs[ph] += d
+				counts[ph]++
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(order) != len(Phases) {
+			t.Fatalf("ward=%v: reported phases %v, want exactly %v", wardOn, order, Phases)
+		}
+		for i, ph := range Phases {
+			if order[i] != ph {
+				t.Fatalf("ward=%v: phase %d = %q, want %q (order %v)", wardOn, i, order[i], ph, order)
+			}
+			if counts[ph] != 1 {
+				t.Fatalf("ward=%v: phase %q reported %d times", wardOn, ph, counts[ph])
+			}
+		}
+		if !wardOn && (durs["partition"] != 0 || durs["schur"] != 0) {
+			t.Errorf("disabled ward reported partition=%v schur=%v, want zeros",
+				durs["partition"], durs["schur"])
+		}
+	}
+}
+
+// TestReduceWardMatchesPlain verifies the pre-reduction is transparent to
+// the projection: the ROM built from the Ward-reduced system matches the
+// plain BDSM ROM's transfer function (both match the same moments of the
+// same exact transfer matrix) and Stats records a nontrivial elimination.
+func TestReduceWardMatchesPlain(t *testing.T) {
+	sys := testGrid(t, 7, 6, 2, 3)
+	plain, err := Reduce(sys, Options{Moments: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	warded, err := Reduce(sys, Options{Moments: 6, WardReduce: true, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ward.External == 0 {
+		t.Fatal("RLC grid eliminated no states; pad midpoints should be static")
+	}
+	_, m, p := sys.Dims()
+	for _, w := range []float64{1e6, 1e8, 1e9, 1e10} {
+		s := complex(0, w)
+		hp, err := plain.Eval(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, err := warded.Eval(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < m; j++ {
+				d := cmplx.Abs(hp.At(i, j)-hw.At(i, j)) / (1 + cmplx.Abs(hp.At(i, j)))
+				if d > 1e-6 {
+					t.Fatalf("ω=%g: ROM transfer differs by %g at (%d,%d)", w, d, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestReduceWardMultiscale drives the configuration the stage exists for: a
+// multiscale grid whose entire transmission backbone is static. The
+// elimination must cover the backbone and the ROM must stay usable.
+func TestReduceWardMultiscale(t *testing.T) {
+	cfg := grid.MultiscaleConfig{Name: "coretest", TNodes: 40, TChord: 8,
+		TransR: 0.01, Substations: 2, SubstationR: 0.05, Grids: 3, GX: 5, GY: 4,
+		DistR: 0.05, FeederR: 0.5, NodeC: 50e-15, PortsPerGrid: 2,
+		Variation: 0.1, Seed: 9}
+	m, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := lti.NewSparseSystem(m.C, m.G, m.B, m.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	rom, err := Reduce(sys, Options{Moments: 4, WardReduce: true, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ward.External < cfg.TNodes {
+		t.Fatalf("eliminated %d states, want at least the %d-node backbone", stats.Ward.External, cfg.TNodes)
+	}
+	if romN, _, _ := rom.Dims(); romN == 0 {
+		t.Fatal("empty ROM")
+	}
+	if _, err := rom.Eval(complex(0, 1e9)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"testing"
+
+	"repro/internal/sparse"
+)
+
+// TestSparseDenseAssemblyExactEquality cross-checks the sparse fast path
+// against the dense small-n shim on every seed benchmark, in both RC and RLC
+// variants: identical nonzero pattern and bit-identical values, no
+// tolerance. This is only possible because COO compilation is a stable sort
+// — duplicate stamps sum in insertion order on both paths.
+func TestSparseDenseAssemblyExactEquality(t *testing.T) {
+	for _, name := range Names() {
+		for _, rcOnly := range []bool{false, true} {
+			cfg, err := Benchmark(name, 0.04)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.RCOnly = rcOnly
+			m, err := cfg.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dg, dc, dports, err := cfg.BuildDense()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := m.N
+			if len(dg) != n*n {
+				t.Fatalf("%s rc=%t: dense shim has %d entries, want %d", name, rcOnly, len(dg), n*n)
+			}
+			for k, pn := range m.PortNodes {
+				if dports[k] != pn {
+					t.Fatalf("%s rc=%t: port %d node %d vs dense %d", name, rcOnly, k, pn, dports[k])
+				}
+			}
+			checkExact(t, name+"/G", m.G, dg, n)
+			checkExact(t, name+"/C", m.C, dc, n)
+		}
+	}
+}
+
+// checkExact verifies the CSR holds exactly the nonzeros of the dense
+// row-major array: same pattern, same bits.
+func checkExact(t *testing.T, label string, a *sparse.CSR[float64], d []float64, n int) {
+	t.Helper()
+	denseNNZ := 0
+	for _, v := range d {
+		if v != 0 {
+			denseNNZ++
+		}
+	}
+	if a.NNZ() != denseNNZ {
+		t.Fatalf("%s: sparse nnz %d != dense nonzero count %d", label, a.NNZ(), denseNNZ)
+	}
+	for i := 0; i < n; i++ {
+		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
+			j := a.ColIdx[k]
+			if got, want := a.Val[k], d[i*n+j]; got != want {
+				t.Fatalf("%s: entry (%d,%d) = %g, dense %g (must be bit-identical)", label, i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestBuildDenseRefusesLargeGrids(t *testing.T) {
+	cfg, err := Benchmark(Ckt5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := cfg.BuildDense(); err == nil {
+		t.Fatal("BuildDense must refuse million-node instances")
+	}
+}

@@ -243,40 +243,28 @@ func (c *Config) Netlist() (*circuit.Netlist, error) {
 	return nl, nil
 }
 
-// Build stamps the power grid directly into MNA descriptor matrices in the
-// paper's convention, bypassing netlist string handling. This is the fast
-// path used by benchmark harnesses; it produces the same model as
-// circuit.BuildMNA(c.Netlist()) up to state ordering.
+// stampSeq drives the canonical direct-stamping sequence: every element
+// value is drawn from rng in the same order as Netlist(), standard-sign
+// conductance contributions go to addG, capacitance/inductance entries to
+// addC, and the selected port nodes are returned. Both the sparse fast path
+// (Build) and the dense small-n shim (BuildDense) replay exactly this
+// sequence, which is what makes their outputs comparable entry by entry.
 //
 // State ordering: grid nodes in (layer, y, x) raster order, one extra node
 // per pad (the R–L midpoint), then pad inductor currents.
-func (c *Config) Build() (*Model, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	rng := rand.New(rand.NewSource(c.Seed))
+func (c *Config) stampSeq(rng *rand.Rand, addG, addC func(i, j int, v float64)) []int {
 	perLayer := c.NX * c.NY
 	nGrid := perLayer * c.Layers
 	nPadMid := c.Pads
-	nInd := c.Pads
 	if c.RCOnly {
-		nPadMid, nInd = 0, 0
+		nPadMid = 0
 	}
-	n := nGrid + nPadMid + nInd
-
 	node := func(l, x, y int) int { return l*perLayer + y*c.NX + x }
-
-	gStd := sparse.NewCOO[float64](n, n)
-	cst := sparse.NewCOO[float64](n, n)
-
 	stamp := func(a, b int, g float64) {
-		gStd.Add(a, a, g)
-		gStd.Add(b, b, g)
-		gStd.Add(a, b, -g)
-		gStd.Add(b, a, -g)
-	}
-	stampGnd := func(a int, g float64, m *sparse.COO[float64]) {
-		m.Add(a, a, g)
+		addG(a, a, g)
+		addG(b, b, g)
+		addG(a, b, -g)
+		addG(b, a, -g)
 	}
 
 	// Mesh resistors (same RNG consumption order as Netlist()).
@@ -306,15 +294,14 @@ func (c *Config) Build() (*Model, error) {
 	for l := 0; l < c.Layers; l++ {
 		for y := 0; y < c.NY; y++ {
 			for x := 0; x < c.NX; x++ {
-				stampGnd(node(l, x, y), vary(rng, c.NodeC, c.Variation), cst)
+				addC(node(l, x, y), node(l, x, y), vary(rng, c.NodeC, c.Variation))
 			}
 		}
 	}
 	// Package pads.
-	pads := c.padPositions()
-	for k, p := range pads {
+	for k, p := range c.padPositions() {
 		if c.RCOnly {
-			stampGnd(node(0, p[0], p[1]), 1/vary(rng, c.PadR, c.Variation), gStd)
+			addG(node(0, p[0], p[1]), node(0, p[0], p[1]), 1/vary(rng, c.PadR, c.Variation))
 			continue
 		}
 		mid := nGrid + k
@@ -322,20 +309,52 @@ func (c *Config) Build() (*Model, error) {
 		stamp(node(0, p[0], p[1]), mid, 1/vary(rng, c.PadR, c.Variation))
 		// Inductor mid — ground with branch current state `ind`:
 		// KCL at mid: current leaves mid; KVL row: L di/dt = v(mid).
-		gStd.Add(mid, ind, 1)
-		gStd.Add(ind, mid, -1)
-		cst.Add(ind, ind, vary(rng, c.PadL, c.Variation))
+		addG(mid, ind, 1)
+		addG(ind, mid, -1)
+		addC(ind, ind, vary(rng, c.PadL, c.Variation))
 	}
 	// Ports.
 	ports := c.portPositions(rng)
-	bStamp := sparse.NewCOO[float64](n, c.Ports)
-	lStamp := sparse.NewCOO[float64](c.Ports, n)
 	portNodes := make([]int, c.Ports)
 	bottom := c.Layers - 1
 	for k, pos := range ports {
 		x, y := pos%c.NX, pos/c.NX
-		i := node(bottom, x, y)
-		portNodes[k] = i
+		portNodes[k] = node(bottom, x, y)
+	}
+	return portNodes
+}
+
+// Build stamps the power grid directly into sparse MNA descriptor matrices
+// in the paper's convention, bypassing netlist string handling. This is the
+// only assembly path used outside small-n tests: dense G/C matrices are
+// never materialized, so assembly cost and memory are O(nnz) all the way to
+// million-node instances. It produces the same model as
+// circuit.BuildMNA(c.Netlist()) up to state ordering.
+func (c *Config) Build() (*Model, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	n := c.NumNodes()
+	gStd := sparse.NewCOO[float64](n, n)
+	cst := sparse.NewCOO[float64](n, n)
+	// Four triplets per two-terminal resistor, one per grounded element:
+	// mesh segments + vias + pads, and node caps + pad L.
+	segs := c.Layers*(2*c.NX*c.NY-c.NX-c.NY) +
+		(c.Layers-1)*((c.NX+c.ViaPitch-1)/c.ViaPitch)*((c.NY+c.ViaPitch-1)/c.ViaPitch)
+	if c.RCOnly {
+		gStd.Reserve(4*segs + c.Pads)
+		cst.Reserve(c.NX * c.NY * c.Layers)
+	} else {
+		gStd.Reserve(4*(segs+c.Pads) + 2*c.Pads)
+		cst.Reserve(c.NX*c.NY*c.Layers + c.Pads)
+	}
+
+	rng := rand.New(rand.NewSource(c.Seed))
+	portNodes := c.stampSeq(rng, gStd.Add, cst.Add)
+
+	bStamp := sparse.NewCOO[float64](n, c.Ports)
+	lStamp := sparse.NewCOO[float64](c.Ports, n)
+	for k, i := range portNodes {
 		// Load draws current out of the node (SPICE source node→ground).
 		bStamp.Add(i, k, -1)
 		lStamp.Add(k, i, 1)
@@ -352,6 +371,34 @@ func (c *Config) Build() (*Model, error) {
 		PortNodes: portNodes,
 		N:         n,
 	}, nil
+}
+
+// MaxDenseBuildNodes caps BuildDense: the dense shim exists to cross-check
+// the sparse assembly on small instances, not to assemble real grids.
+const MaxDenseBuildNodes = 4096
+
+// BuildDense assembles the same model as Build into dense row-major n×n
+// arrays (paper sign convention, G = −G_std). It is a compatibility shim for
+// small-n property tests — the sparse and dense paths replay the identical
+// stamping sequence, so Build's compiled matrices must match these arrays
+// exactly, entry for entry, with no floating-point tolerance. Instances
+// beyond MaxDenseBuildNodes states are refused.
+func (c *Config) BuildDense() (g, cm []float64, portNodes []int, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	n := c.NumNodes()
+	if n > MaxDenseBuildNodes {
+		return nil, nil, nil, fmt.Errorf("grid: BuildDense is a small-n test shim (n = %d > %d); use Build", n, MaxDenseBuildNodes)
+	}
+	g = make([]float64, n*n)
+	cm = make([]float64, n*n)
+	rng := rand.New(rand.NewSource(c.Seed))
+	portNodes = c.stampSeq(rng,
+		func(i, j int, v float64) { g[i*n+j] -= v }, // dense side applies G = −G_std directly
+		func(i, j int, v float64) { cm[i*n+j] += v },
+	)
+	return g, cm, portNodes, nil
 }
 
 // Model is a stamped power-grid descriptor model in the paper's convention

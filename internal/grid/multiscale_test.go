@@ -1,0 +1,139 @@
+package grid
+
+import (
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/lti"
+)
+
+func msTestConfig() MultiscaleConfig {
+	return MultiscaleConfig{Name: "mstest", TNodes: 30, TChord: 8, TransR: 0.01,
+		Substations: 2, SubstationR: 0.05, Grids: 3, GX: 4, GY: 3,
+		DistR: 0.05, FeederR: 0.5, NodeC: 50e-15, PortsPerGrid: 2,
+		Variation: 0.15, Seed: 42}
+}
+
+// TestMultiscaleNetlistAndDirectTransferEquivalence mirrors the Config
+// cross-check: the netlist path and the direct stamping path must realize
+// the same transfer matrix.
+func TestMultiscaleNetlistAndDirectTransferEquivalence(t *testing.T) {
+	cfg := msTestConfig()
+	direct, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysDirect, err := lti.NewSparseSystem(direct.C, direct.G, direct.B, direct.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := cfg.Netlist()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := circuit.BuildMNA(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysNetlist, err := lti.NewSparseSystem(mna.C, mna.G, mna.B, mna.L)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, m1, p1 := sysDirect.Dims()
+	n2, m2, p2 := sysNetlist.Dims()
+	if n1 != n2 || m1 != m2 || p1 != p2 {
+		t.Fatalf("dims differ: %d/%d/%d vs %d/%d/%d", n1, m1, p1, n2, m2, p2)
+	}
+	if n1 != cfg.NumNodes() || m1 != cfg.NumPorts() {
+		t.Fatalf("n=%d m=%d disagree with NumNodes=%d NumPorts=%d", n1, m1, cfg.NumNodes(), cfg.NumPorts())
+	}
+	for _, w := range []float64{1e5, 1e8, 3e9, 1e11} {
+		s := complex(0, w)
+		h1, err := sysDirect.Eval(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := sysNetlist.Eval(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < p1; i++ {
+			for j := 0; j < m1; j++ {
+				d := cmplx.Abs(h1.At(i, j) - h2.At(i, j))
+				if d > 1e-9*(1+cmplx.Abs(h1.At(i, j))) {
+					t.Fatalf("ω=%g: H[%d][%d] differs: %v vs %v", w, i, j, h1.At(i, j), h2.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestMultiscaleBackboneIsStatic pins the structural property the generator
+// exists for: backbone nodes carry no capacitance, load, or probe, so the
+// whole transmission tier is Ward-eliminable.
+func TestMultiscaleBackboneIsStatic(t *testing.T) {
+	cfg := msTestConfig()
+	m, err := cfg.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nT := cfg.TNodes
+	for i := 0; i < nT; i++ {
+		if m.C.RowPtr[i+1] != m.C.RowPtr[i] {
+			t.Fatalf("backbone node %d has a C entry", i)
+		}
+	}
+	for _, pn := range m.PortNodes {
+		if pn < nT {
+			t.Fatalf("port node %d placed on the backbone", pn)
+		}
+	}
+	// Backbone G rows must be nonempty (mesh + possible substation tie) so
+	// the static states are genuinely eliminable, not merely decoupled.
+	for i := 0; i < nT; i++ {
+		if m.G.RowPtr[i+1] == m.G.RowPtr[i] {
+			t.Fatalf("backbone node %d has an empty G row", i)
+		}
+	}
+}
+
+func TestMultiscaleKeyDistinguishesConfigs(t *testing.T) {
+	a := msTestConfig()
+	b := a
+	if a.Key() != b.Key() {
+		t.Fatal("identical configs must share a key")
+	}
+	b.Seed++
+	if a.Key() == b.Key() {
+		t.Fatal("seed change must change the key")
+	}
+	c := a
+	c.GX++
+	if a.Key() == c.Key() {
+		t.Fatal("dimension change must change the key")
+	}
+}
+
+func TestMultiscaleBenchmarkLadder(t *testing.T) {
+	for _, nodes := range []int{1000, 10000, 100000} {
+		cfg, err := MultiscaleBenchmark(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := cfg.NumNodes()
+		if got < nodes/2 || got > 2*nodes {
+			t.Fatalf("MultiscaleBenchmark(%d) yields %d nodes, want within 2× of request", nodes, got)
+		}
+		if ports := cfg.NumPorts(); ports > 32 {
+			t.Fatalf("MultiscaleBenchmark(%d) yields %d ports, want ≤ 32 (constant port ladder)", nodes, ports)
+		}
+		backbone := cfg.TNodes
+		if frac := float64(backbone) / float64(got); frac < 0.25 || frac > 0.75 {
+			t.Fatalf("MultiscaleBenchmark(%d): backbone fraction %.2f outside [0.25, 0.75]", nodes, frac)
+		}
+	}
+	if _, err := MultiscaleBenchmark(10); err == nil {
+		t.Fatal("want an error for absurdly small node counts")
+	}
+}

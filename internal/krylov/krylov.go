@@ -80,38 +80,53 @@ type Operator struct {
 	UsedBackend Backend
 }
 
-// NewOperator builds the expansion-point operator for sys at s0.
+// NewOperator builds the expansion-point operator for sys at s0. The pencil
+// s0·C - G is assembled exactly once, in sparse form, and shared by the
+// symmetry probe and the chosen factorization — on million-node grids the
+// assembly itself is a measurable fraction of factor time, so it is never
+// repeated. No dense n×n intermediate is formed on any path.
 func NewOperator(sys *lti.SparseSystem, s0 float64, opts OperatorOptions) (*Operator, error) {
 	n, _, _ := sys.Dims()
 	op := &Operator{sys: sys, s0: s0, buf: make([]float64, n), UsedBackend: opts.Backend}
+	pencil := sys.C.Add(s0, sys.G, -1)
 	backend := opts.Backend
-	if backend == BackendAuto {
-		if sparse.IsSymmetric(sys.C.Add(s0, sys.G, -1), 1e-12) {
+	auto := backend == BackendAuto
+	if auto {
+		// Symmetric pencils get Cholesky first; an indefinite one (possible
+		// even for symmetric RLC formulations) falls back to LU below
+		// instead of failing construction.
+		if sparse.IsSymmetric(pencil, 1e-12) {
 			backend = BackendCholesky
 		} else {
 			backend = BackendLU
 		}
 		op.UsedBackend = backend
 	}
+	if backend == BackendCholesky {
+		ch, err := sparse.FactorCholesky(pencil.ToCSC(), opts.LU)
+		switch {
+		case err == nil:
+			op.solver = ch
+			op.chol = ch
+			op.FactorNNZ = ch.NNZ()
+			return op, nil
+		case auto && errors.Is(err, sparse.ErrNotSPD):
+			backend = BackendLU
+			op.UsedBackend = BackendLU
+		default:
+			return nil, fmt.Errorf("krylov: Cholesky-factoring pencil at s0=%g: %w", s0, err)
+		}
+	}
 	switch backend {
 	case BackendLU:
-		lu, err := sparse.FactorLU(sys.Pencil(s0), opts.LU)
+		lu, err := sparse.FactorLU(pencil.ToCSC(), opts.LU)
 		if err != nil {
 			return nil, fmt.Errorf("krylov: factoring pencil at s0=%g: %w", s0, err)
 		}
 		op.solver = lu
 		op.lu = lu
 		op.FactorNNZ = lu.NNZ()
-	case BackendCholesky:
-		ch, err := sparse.FactorCholesky(sys.Pencil(s0), opts.LU)
-		if err != nil {
-			return nil, fmt.Errorf("krylov: Cholesky-factoring pencil at s0=%g: %w", s0, err)
-		}
-		op.solver = ch
-		op.chol = ch
-		op.FactorNNZ = ch.NNZ()
 	case BackendIterative:
-		pencil := sys.C.Add(s0, sys.G, -1)
 		it, err := sparse.NewBiCGStab(pencil, opts.Iter)
 		if err != nil {
 			return nil, fmt.Errorf("krylov: building iterative solver: %w", err)

@@ -28,7 +28,7 @@ func sameSweepPoint(a, b SweepPoint) bool {
 // sized like a small server.
 func coalesceFixture(t testing.TB) (*Model, *Engine, *Evaluator) {
 	t.Helper()
-	m, err := buildModel(ModelKey{Benchmark: "ckt1", Scale: 0.1}, false, nil)
+	m, err := buildModel(ModelKey{Benchmark: "ckt1", Scale: 0.1}, false, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

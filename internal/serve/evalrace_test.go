@@ -14,7 +14,7 @@ import (
 // that corrupts output without tripping the detector still fails the test.
 func TestEvaluatorConcurrentSweepStress(t *testing.T) {
 	key := ModelKey{Benchmark: "ckt1", Scale: 0.1}
-	m, err := buildModel(key, false, nil)
+	m, err := buildModel(key, false, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,11 +145,17 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	reg.CounterFunc("pgserve_interp_fallbacks_total",
 		"Δ-scale requests that fell back to a real reduction.",
 		repo.interpFallbacks.Load)
+	reg.CounterFunc("pgserve_ward_reductions_total",
+		"Model builds that ran the Ward/Schur pre-reduction stage.",
+		repo.wardReductions.Load)
+	reg.CounterFunc("pgserve_ward_eliminated_states_total",
+		"Static states eliminated exactly by Ward pre-reduction across builds.",
+		repo.wardEliminated.Load)
 	repo.Instrument(
 		reg.Histogram("pgserve_repo_build_seconds",
 			"End-to-end model build duration (grid + reduction + modalize).", buildBuckets),
 		reg.HistogramVec("pgserve_reduce_phase_seconds",
-			"Per-phase reduction timing: grid_build, factor, krylov, modalize.",
+			"Per-phase reduction timing: grid_build, partition, schur, factor, krylov, modalize.",
 			buildBuckets, "phase"))
 
 	// Factorization cache: func-backed over its own atomics; byte totals

@@ -65,6 +65,8 @@ func TestMetricsCoverAllSubsystems(t *testing.T) {
 		{"pgserve_http_requests_total", []string{"route", "/eval", "status", "200"}},
 		{"pgserve_http_requests_total", []string{"route", "/session/{id}/advance", "status", "200"}},
 		{"pgserve_repo_builds_total", nil},
+		{"pgserve_ward_reductions_total", nil},
+		{"pgserve_ward_eliminated_states_total", nil},
 		{"pgserve_evals_modal_total", nil},
 		{"pgserve_sessions_created_total", nil},
 		{"pgserve_session_steps_total", nil},
@@ -107,7 +109,12 @@ func TestMetricsCoverAllSubsystems(t *testing.T) {
 		{"pgserve_engine_task_wait_seconds", nil},
 		{"pgserve_session_advance_seconds", nil},
 		{"pgserve_repo_build_seconds", nil},
+		{"pgserve_reduce_phase_seconds", []string{"phase", "grid_build"}},
+		{"pgserve_reduce_phase_seconds", []string{"phase", "partition"}},
+		{"pgserve_reduce_phase_seconds", []string{"phase", "schur"}},
+		{"pgserve_reduce_phase_seconds", []string{"phase", "factor"}},
 		{"pgserve_reduce_phase_seconds", []string{"phase", "krylov"}},
+		{"pgserve_reduce_phase_seconds", []string{"phase", "modalize"}},
 	} {
 		count, ok := sc.Value(h.name+"_count", h.pairs...)
 		if !ok {

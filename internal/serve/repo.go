@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grid"
+	"repro/internal/krylov"
 	"repro/internal/lti"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -128,6 +129,12 @@ type Model struct {
 	// remaining Blocks − ModalBlocks fall back to LU pencils.
 	ModalBlocks int `json:"modal_blocks"`
 
+	// WardEliminated counts the static states the Ward/Schur pre-reduction
+	// removed exactly before the Krylov projection ran. Zero for RC-only
+	// grids (no eliminable states), for builds with the stage disabled, and
+	// for models loaded from a store written before the field existed.
+	WardEliminated int `json:"ward_eliminated,omitempty"`
+
 	// FromStore reports that this process loaded the ROM from the persistent
 	// store instead of reducing it (BuildTime/ReduceTime then record what the
 	// original reduction cost, Created when it ran).
@@ -201,6 +208,11 @@ type RepoStats struct {
 	InterpModels    int   `json:"interp_models"`
 	InterpServed    int64 `json:"interp_served"`
 	InterpFallbacks int64 `json:"interp_fallbacks"`
+	// WardReductions counts builds that ran the Ward/Schur pre-reduction
+	// stage; WardEliminatedStates sums the static states it removed exactly
+	// across those builds.
+	WardReductions       int64 `json:"ward_reductions"`
+	WardEliminatedStates int64 `json:"ward_eliminated_states"`
 }
 
 // Repository builds and caches reduced models. Each distinct normalized
@@ -228,6 +240,9 @@ type Repository struct {
 	// against the diagonalization code itself, not just its use at serve
 	// time.
 	noModal bool
+	// noWard disables the Ward/Schur pre-reduction stage in builds — the
+	// -no-ward escape hatch. The stage is exact and on by default.
+	noWard bool
 
 	// library indexes the Scale points known per benchmark family (resident
 	// models plus store-scanned metadata) — the anchor set Δ-scale
@@ -248,11 +263,12 @@ type Repository struct {
 
 	builds, memHits, diskHits, diskMisses, storeErrors atomic.Int64
 	interpServed, interpFallbacks                      atomic.Int64
+	wardReductions, wardEliminated                     atomic.Int64
 
 	// buildHist / phases, when set via Instrument, receive end-to-end build
-	// durations and per-phase reduction timings (grid_build, factor, krylov,
-	// modalize). Nil by default: an uninstrumented repository records
-	// nothing and pays nothing.
+	// durations and per-phase reduction timings (grid_build, partition,
+	// schur, factor, krylov, modalize). Nil by default: an uninstrumented
+	// repository records nothing and pays nothing.
 	buildHist *obs.Histogram
 	phases    *obs.HistogramVec
 }
@@ -273,6 +289,11 @@ func NewRepository(maxModels int) *Repository {
 // model it builds or loads. Must be called before the repository serves
 // requests.
 func (r *Repository) DisableModal() { r.noModal = true }
+
+// DisableWard makes the repository skip the Ward/Schur pre-reduction stage
+// for every model it builds. Must be called before the repository serves
+// requests.
+func (r *Repository) DisableWard() { r.noWard = true }
 
 // Instrument attaches a build-duration histogram and a per-phase reduction
 // timing histogram vector (label: phase). Must be called before the
@@ -371,11 +392,17 @@ func (r *Repository) get(key ModelKey, allowBuild bool) (*Model, Outcome, error)
 			e.err = fmt.Errorf("%w: %s", errNotInStore, key.ID())
 		} else {
 			outcome = OutcomeBuilt
-			t0 := time.Now()
-			e.model, e.err = safeBuild(key, r.buildSem, r.noModal, r.phaseFunc())
+			var elapsed time.Duration
+			e.model, elapsed, e.err = safeBuild(key, r.buildSem, r.noModal, r.noWard, r.phaseFunc())
 			if e.err == nil {
-				r.buildHist.ObserveSince(t0)
+				// elapsed is measured inside the build slot, so the histogram
+				// records build cost, not semaphore queueing.
+				r.buildHist.Observe(elapsed.Seconds())
 				r.builds.Add(1)
+				if !r.noWard {
+					r.wardReductions.Add(1)
+					r.wardEliminated.Add(int64(e.model.WardEliminated))
+				}
 				r.writeThrough(key, e.model)
 			}
 		}
@@ -576,15 +603,17 @@ func (r *Repository) Stats() RepoStats {
 	interpModels := len(r.interp)
 	r.mu.Unlock()
 	return RepoStats{
-		Models:          models,
-		Builds:          r.builds.Load(),
-		MemHits:         r.memHits.Load(),
-		DiskHits:        r.diskHits.Load(),
-		DiskMisses:      r.diskMisses.Load(),
-		StoreErrors:     r.storeErrors.Load(),
-		InterpModels:    interpModels,
-		InterpServed:    r.interpServed.Load(),
-		InterpFallbacks: r.interpFallbacks.Load(),
+		Models:               models,
+		Builds:               r.builds.Load(),
+		MemHits:              r.memHits.Load(),
+		DiskHits:             r.diskHits.Load(),
+		DiskMisses:           r.diskMisses.Load(),
+		StoreErrors:          r.storeErrors.Load(),
+		InterpModels:         interpModels,
+		InterpServed:         r.interpServed.Load(),
+		InterpFallbacks:      r.interpFallbacks.Load(),
+		WardReductions:       r.wardReductions.Load(),
+		WardEliminatedStates: r.wardEliminated.Load(),
 	}
 }
 
@@ -675,23 +704,30 @@ func (r *Repository) Models() []*Model {
 // safeBuild runs buildModel under the build semaphore, releasing the slot
 // and converting panics to errors on every exit path — a panicking build
 // must not strand a semaphore slot or leave single-flight waiters blocked
-// on a ready channel that never closes.
-func safeBuild(key ModelKey, sem chan struct{}, noModal bool, phase func(string, time.Duration)) (m *Model, err error) {
+// on a ready channel that never closes. The returned duration is measured
+// after the semaphore is acquired, so it reflects build cost alone, not the
+// time spent queued behind other builds.
+func safeBuild(key ModelKey, sem chan struct{}, noModal, noWard bool, phase func(string, time.Duration)) (m *Model, elapsed time.Duration, err error) {
 	sem <- struct{}{}
 	defer func() { <-sem }()
+	t0 := time.Now()
 	defer func() {
+		elapsed = time.Since(t0)
 		if r := recover(); r != nil {
 			m, err = nil, fmt.Errorf("serve: building %s panicked: %v", key.ID(), r)
 		}
 	}()
-	return buildModel(key, noModal, phase)
+	m, err = buildModel(key, noModal, noWard, phase)
+	return m, 0, err // elapsed is stamped by the deferred closure
 }
 
 // buildModel runs the full pipeline for one key: generate the synthetic
-// grid, stamp it into a descriptor system, and reduce it with BDSM. phase,
-// when non-nil, receives per-phase wall-clock timings (grid_build, factor,
-// krylov, modalize) so slow reductions are decomposable.
-func buildModel(key ModelKey, noModal bool, phase func(string, time.Duration)) (*Model, error) {
+// grid, stamp it into a descriptor system, and reduce it with BDSM (Ward
+// pre-reduction on unless noWard). phase, when non-nil, receives per-phase
+// wall-clock timings (grid_build, partition, schur, factor, krylov,
+// modalize) so slow reductions are decomposable; every label is reported
+// exactly once per build, as zero when its stage is skipped.
+func buildModel(key ModelKey, noModal, noWard bool, phase func(string, time.Duration)) (*Model, error) {
 	cfg, err := grid.Benchmark(key.Benchmark, key.Scale)
 	if err != nil {
 		return nil, err
@@ -712,15 +748,25 @@ func buildModel(key ModelKey, noModal bool, phase func(string, time.Duration)) (
 		phase("grid_build", buildTime)
 	}
 
+	var stats core.Stats
 	tReduce := time.Now()
-	rom, err := core.Reduce(sys, core.Options{S0: key.S0, Moments: key.Moments, OnPhase: phase})
+	rom, err := core.Reduce(sys, core.Options{
+		S0:         key.S0,
+		Moments:    key.Moments,
+		Backend:    krylov.BackendAuto,
+		WardReduce: !noWard,
+		Stats:      &stats,
+		OnPhase:    phase,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("serve: reducing %s: %w", key.ID(), err)
 	}
 	reduceTime := time.Since(tReduce)
 
 	// Diagonalize each block once, right after the reduction — every
-	// subsequent evaluation of this model rides the modal fast path.
+	// subsequent evaluation of this model rides the modal fast path. A
+	// skipped stage still reports its phase, as zero, per the OnPhase
+	// contract.
 	var modal *lti.ModalSystem
 	if !noModal {
 		tModal := time.Now()
@@ -728,24 +774,27 @@ func buildModel(key ModelKey, noModal bool, phase func(string, time.Duration)) (
 		if phase != nil {
 			phase("modalize", time.Since(tModal))
 		}
+	} else if phase != nil {
+		phase("modalize", 0)
 	}
 
 	n, m, p := sys.Dims()
 	order, _, _ := rom.Dims()
 	mdl := &Model{
-		ID:         key.ID(),
-		Key:        key,
-		Nodes:      n,
-		Ports:      m,
-		Outputs:    p,
-		Order:      order,
-		Blocks:     len(rom.Blocks),
-		BuildTime:  buildTime,
-		ReduceTime: reduceTime,
-		Created:    time.Now(),
-		ROM:        rom,
-		Modal:      modal,
-		GridKey:    cfg.Key(),
+		ID:             key.ID(),
+		Key:            key,
+		Nodes:          n,
+		Ports:          m,
+		Outputs:        p,
+		Order:          order,
+		Blocks:         len(rom.Blocks),
+		BuildTime:      buildTime,
+		ReduceTime:     reduceTime,
+		Created:        time.Now(),
+		WardEliminated: stats.Ward.External,
+		ROM:            rom,
+		Modal:          modal,
+		GridKey:        cfg.Key(),
 	}
 	if modal != nil {
 		mdl.ModalBlocks, _ = modal.ModalCount()

@@ -3,6 +3,7 @@ package serve
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/grid"
@@ -174,5 +175,88 @@ func TestModelKeyIDAdversarialNames(t *testing.T) {
 	}
 	if id := (ModelKey{Benchmark: "ckt2", Scale: 0.1, RCOnly: true}).ID(); id != "ckt2-0.1-l10-s01e09-rc" {
 		t.Fatalf("standard RC ID changed: %q", id)
+	}
+}
+
+// TestBuildPhaseContract pins the serving layer's OnPhase contract: every
+// build reports each of the six phase labels exactly once — grid_build, the
+// four core phases, and modalize — with explicit zeros for skipped stages
+// (modalize under noModal, partition/schur under noWard) rather than a
+// missing or stale observation.
+func TestBuildPhaseContract(t *testing.T) {
+	key := ModelKey{Benchmark: "ckt1", Scale: 0.1}
+	key.Normalize()
+	for _, tc := range []struct {
+		name            string
+		noModal, noWard bool
+	}{
+		{"default", false, false},
+		{"noModal", true, false},
+		{"noWard", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			counts := map[string]int{}
+			durs := map[string]time.Duration{}
+			m, err := buildModel(key, tc.noModal, tc.noWard, func(ph string, d time.Duration) {
+				counts[ph]++
+				durs[ph] += d
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := append([]string{"grid_build"}, core.Phases...)
+			want = append(want, "modalize")
+			for _, ph := range want {
+				if counts[ph] != 1 {
+					t.Errorf("phase %q reported %d times, want exactly 1 (counts: %v)", ph, counts[ph], counts)
+				}
+			}
+			if len(counts) != len(want) {
+				t.Errorf("got %d phase labels %v, want exactly %v", len(counts), counts, want)
+			}
+			if tc.noModal && durs["modalize"] != 0 {
+				t.Errorf("noModal build reported modalize = %v, want 0", durs["modalize"])
+			}
+			if tc.noWard {
+				if durs["partition"] != 0 || durs["schur"] != 0 {
+					t.Errorf("noWard build reported partition=%v schur=%v, want 0", durs["partition"], durs["schur"])
+				}
+				if m.WardEliminated != 0 {
+					t.Errorf("noWard build has WardEliminated = %d, want 0", m.WardEliminated)
+				}
+			} else if m.WardEliminated <= 0 {
+				t.Errorf("RLC benchmark build eliminated %d states via Ward, want > 0", m.WardEliminated)
+			}
+		})
+	}
+}
+
+// TestRepositoryWardCounters verifies builds feed the ward counters exposed
+// through RepoStats (and from there pgserve_ward_*_total).
+func TestRepositoryWardCounters(t *testing.T) {
+	r := NewRepository(4)
+	m, outcome, err := r.Get(ModelKey{Benchmark: "ckt1", Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != OutcomeBuilt {
+		t.Fatalf("outcome = %v, want built", outcome)
+	}
+	st := r.Stats()
+	if st.WardReductions != 1 {
+		t.Errorf("WardReductions = %d, want 1", st.WardReductions)
+	}
+	if st.WardEliminatedStates != int64(m.WardEliminated) || m.WardEliminated <= 0 {
+		t.Errorf("WardEliminatedStates = %d, model WardEliminated = %d, want equal and > 0",
+			st.WardEliminatedStates, m.WardEliminated)
+	}
+
+	rw := NewRepository(4)
+	rw.DisableWard()
+	if _, _, err := rw.Get(ModelKey{Benchmark: "ckt1", Scale: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := rw.Stats(); st.WardReductions != 0 || st.WardEliminatedStates != 0 {
+		t.Errorf("DisableWard repository counted ward activity: %+v", st)
 	}
 }

@@ -73,6 +73,10 @@ type Config struct {
 	// when a modal form is available — the operational escape hatch and the
 	// benchmarking baseline.
 	DisableModal bool
+	// DisableWard turns off the Ward/Schur pre-reduction stage on builds.
+	// The stage is exact and on by default; the flag exists to measure its
+	// effect and as an operational escape hatch.
+	DisableWard bool
 	// DisableInterp turns off Δ-scale interpolation: /interp is rejected and
 	// benchmark+scale resolution on /eval and /sweep reduces for real.
 	DisableInterp bool
@@ -200,6 +204,9 @@ func New(cfg Config) *Server {
 		// The escape hatch disables the diagonalization code end to end:
 		// no Modalize on builds or legacy disk loads, no modal routing.
 		s.repo.DisableModal()
+	}
+	if cfg.DisableWard {
+		s.repo.DisableWard()
 	}
 	if cfg.InterpTol > 0 {
 		s.repo.interpTol = cfg.InterpTol

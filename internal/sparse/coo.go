@@ -2,7 +2,6 @@ package sparse
 
 import (
 	"fmt"
-	"sort"
 )
 
 // COO is a coordinate-format (triplet) sparse matrix builder. Entries may be
@@ -26,6 +25,25 @@ func NewCOO[T Scalar](rows, cols int) *COO[T] {
 // Dims returns the matrix dimensions.
 func (a *COO[T]) Dims() (rows, cols int) { return a.rows, a.cols }
 
+// Reserve grows the triplet storage to hold at least n entries without
+// further reallocation. Assembly code that knows its stamp count up front
+// (grid generators, Schur accumulation) uses it to avoid append growth on
+// million-entry builds.
+func (a *COO[T]) Reserve(n int) {
+	if n <= cap(a.v) {
+		return
+	}
+	ri := make([]int, len(a.ri), n)
+	copy(ri, a.ri)
+	a.ri = ri
+	ci := make([]int, len(a.ci), n)
+	copy(ci, a.ci)
+	a.ci = ci
+	v := make([]T, len(a.v), n)
+	copy(v, a.v)
+	a.v = v
+}
+
 // NNZ returns the number of stored triplets (duplicates counted separately).
 func (a *COO[T]) NNZ() int { return len(a.v) }
 
@@ -41,28 +59,54 @@ func (a *COO[T]) Add(i, j int, v T) {
 	a.v = append(a.v, v)
 }
 
-// compile sorts triplets by (major, minor), sums duplicates and drops exact
+// compile orders triplets by (major, minor), sums duplicates and drops exact
 // zeros, returning the compressed arrays. major selects row-major (CSR) or
 // column-major (CSC) compilation.
+//
+// Ordering is a two-pass stable counting sort — O(nnz + rows + cols) instead
+// of the O(nnz·log nnz) of a comparison sort, which matters when assembling
+// million-node grids — and its stability makes duplicate summation follow
+// insertion (stamping) order, so compiled values are reproducible
+// bit-for-bit from the stamping sequence alone.
 func (a *COO[T]) compile(rowMajor bool) (ptr []int, idx []int, val []T) {
 	n := len(a.v)
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
-	}
 	maj, min := a.ri, a.ci
-	majDim := a.rows
+	majDim, minDim := a.rows, a.cols
 	if !rowMajor {
 		maj, min = a.ci, a.ri
-		majDim = a.cols
+		majDim, minDim = a.cols, a.rows
 	}
-	sort.Slice(order, func(x, y int) bool {
-		i, j := order[x], order[y]
-		if maj[i] != maj[j] {
-			return maj[i] < maj[j]
-		}
-		return min[i] < min[j]
-	})
+
+	// Pass 1: stable counting sort by minor index.
+	count := make([]int, max(majDim, minDim)+1)
+	for _, j := range min {
+		count[j+1]++
+	}
+	for j := 0; j < minDim; j++ {
+		count[j+1] += count[j]
+	}
+	byMinor := make([]int, n)
+	for t := 0; t < n; t++ {
+		j := min[t]
+		byMinor[count[j]] = t
+		count[j]++
+	}
+
+	// Pass 2: stable counting sort by major index over the minor-sorted
+	// sequence, yielding (major, minor, insertion)-ordered triplets.
+	clear(count)
+	for _, i := range maj {
+		count[i+1]++
+	}
+	for i := 0; i < majDim; i++ {
+		count[i+1] += count[i]
+	}
+	order := make([]int, n)
+	for _, t := range byMinor {
+		i := maj[t]
+		order[count[i]] = t
+		count[i]++
+	}
 
 	ptr = make([]int, majDim+1)
 	idx = make([]int, 0, n)

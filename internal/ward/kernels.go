@@ -1,0 +1,31 @@
+package ward
+
+// Schur inner kernels. These run once per boundary column per solve and are
+// the only per-element work the elimination adds on top of the factorization
+// backends, so they are held to the same zero-allocation standard as the
+// sparse triangular solves they bracket (pglint noalloc + alloctest).
+
+// schurScatter accumulates the sparse column (rows, vals) into the dense
+// right-hand side x: x[rows[k]] += vals[k]. The caller zeroes x beforehand;
+// accumulation (rather than assignment) keeps duplicate row entries correct.
+//
+//go:noinline
+//pgmor:noalloc
+func schurScatter(x []float64, rows []int32, vals []float64) {
+	for k, r := range rows {
+		x[r] += vals[k]
+	}
+}
+
+// schurGather returns the sparse·dense dot product Σ vals[k]·x[cols[k]] —
+// one entry of G_KE·y for a boundary row stored as (cols, vals).
+//
+//go:noinline
+//pgmor:noalloc
+func schurGather(cols []int32, vals []float64, x []float64) float64 {
+	var sum float64
+	for k, c := range cols {
+		sum += vals[k] * x[c]
+	}
+	return sum
+}

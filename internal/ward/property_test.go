@@ -1,0 +1,63 @@
+package ward
+
+import (
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/lti"
+)
+
+// TestWardExactOnBenchmarks is the acceptance property for the pre-reduction
+// stage: across every paper benchmark in both electrical variants, the
+// Ward-reduced system's transfer function at the boundary ports matches the
+// unreduced system's to 1e-8. RLC variants must actually eliminate states
+// (the pad R–L midpoints are static); RC variants have no static states and
+// must come back as exact no-ops.
+func TestWardExactOnBenchmarks(t *testing.T) {
+	// Scale 0.04 keeps the largest benchmark under a few thousand states so
+	// the full-system (unreduced) transfer evaluation stays cheap.
+	const scale = 0.04
+	for _, name := range grid.Names() {
+		for _, rcOnly := range []bool{false, true} {
+			variant := "rlc"
+			if rcOnly {
+				variant = "rc"
+			}
+			t.Run(name+"/"+variant, func(t *testing.T) {
+				cfg, err := grid.Benchmark(name, scale)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.RCOnly = rcOnly
+				m, err := cfg.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sys, err := lti.NewSparseSystem(m.C, m.G, m.B, m.L)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Reduce(sys, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.Fallback != "" {
+					t.Fatalf("unexpected fallback: %s", res.Stats.Fallback)
+				}
+				if rcOnly {
+					if res.Stats.External != 0 || res.Sys != sys {
+						t.Fatalf("RC grid should be a no-op, eliminated %d states", res.Stats.External)
+					}
+				} else if res.Stats.External == 0 {
+					t.Fatal("RLC grid eliminated no states; pad midpoints should be static")
+				}
+				nFull, _, _ := sys.Dims()
+				nRed, _, _ := res.Sys.Dims()
+				if nRed != nFull-res.Stats.External {
+					t.Fatalf("reduced to %d states, want %d - %d", nRed, nFull, res.Stats.External)
+				}
+				assertTransferEqual(t, sys, res.Sys, 1e-8)
+			})
+		}
+	}
+}

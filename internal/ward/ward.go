@@ -1,0 +1,539 @@
+// Package ward implements Ward/boundary-set pre-reduction for huge sparse
+// descriptor systems: the states of C dx/dt = Gx + Bu, y = Lx are
+// partitioned into an external set (purely static, unobserved, undriven),
+// the boundary set (kept states coupled to an external), and the internal
+// remainder; the externals are then eliminated exactly by a sparse Schur
+// complement on G,
+//
+//	G' = G_KK − G_KE · G_EE⁻¹ · G_EK   (K = internal ∪ boundary),
+//
+// the classical Ward equivalent of power-system analysis (GridCal's
+// ward_reduction is the reference implementation of record). Because an
+// external state has no entry in C, B, or L, its pencil rows are
+// frequency-independent and the elimination is exact: the reduced system has
+// the same transfer matrix H(s) at every port and every frequency, up to the
+// roundoff of the Schur solves. Model order reduction downstream (BDSM
+// Krylov projection) then runs on the kept states only, so reduction cost
+// scales with the dynamic/observed part of the grid instead of the full
+// netlist — the enabler for million-node multiscale grids whose bulk is a
+// static transmission backbone.
+package ward
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/lti"
+	"repro/internal/sparse"
+)
+
+// Class labels one state of the partition.
+type Class int8
+
+const (
+	// ClassInternal states are kept and touch no external state.
+	ClassInternal Class = iota
+	// ClassBoundary states are kept and G-coupled to at least one external;
+	// the Schur correction is confined to boundary rows and columns.
+	ClassBoundary
+	// ClassExternal states are static (no C, B, or L entries) and are
+	// eliminated exactly.
+	ClassExternal
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassInternal:
+		return "internal"
+	case ClassBoundary:
+		return "boundary"
+	case ClassExternal:
+		return "external"
+	}
+	return "unknown"
+}
+
+// Partition is the internal/boundary/external split of a system's states.
+type Partition struct {
+	// Class holds the per-state classification, indexed by original state.
+	Class []Class
+	// External lists eliminated states in ascending original order.
+	External []int
+	// Boundary lists kept states adjacent to an external, ascending.
+	Boundary []int
+	// Keep lists all kept states (internal + boundary) in ascending original
+	// order; Keep[i] is the original index of reduced state i.
+	Keep []int
+}
+
+// PartitionSystem classifies every state of sys. A state is external when it
+// is provably static and eliminable:
+//
+//   - its C row and column are empty (no dynamics couple through it),
+//   - its B row is empty (no input drives it) and its L column is empty
+//     (no output observes it),
+//   - its G row is nonempty (a fully decoupled state has a singular
+//     external block and nothing to eliminate; it stays kept and inert).
+//
+// Kept states with a G entry to or from an external state are boundary;
+// the rest are internal. The classification is purely structural, so it is
+// O(nnz) and never misclassifies: anything not provably static is kept.
+func PartitionSystem(sys *lti.SparseSystem) *Partition {
+	n, _, _ := sys.Dims()
+	class := make([]Class, n)
+	static := make([]bool, n)
+	for i := range static {
+		static[i] = true
+	}
+	// Dynamic couplings: any C entry keeps both its row and column state.
+	for i := 0; i < n; i++ {
+		if sys.C.RowPtr[i+1] > sys.C.RowPtr[i] {
+			static[i] = false
+		}
+		for k := sys.C.RowPtr[i]; k < sys.C.RowPtr[i+1]; k++ {
+			static[sys.C.ColIdx[k]] = false
+		}
+	}
+	// Driven states: B rows.
+	for k := range sys.B.RowIdx {
+		static[sys.B.RowIdx[k]] = false
+	}
+	// Observed states: L columns.
+	for k := range sys.L.ColIdx {
+		static[sys.L.ColIdx[k]] = false
+	}
+	// Degenerate statics with an empty G row stay kept (inert but harmless).
+	for i := 0; i < n; i++ {
+		if static[i] && sys.G.RowPtr[i+1] == sys.G.RowPtr[i] {
+			static[i] = false
+		}
+	}
+
+	p := &Partition{Class: class}
+	for i := 0; i < n; i++ {
+		if static[i] {
+			class[i] = ClassExternal
+			p.External = append(p.External, i)
+		}
+	}
+	if len(p.External) > 0 {
+		// Boundary marking walks G once in each direction so structurally
+		// unsymmetric couplings (inductor incidence rows) are caught too.
+		for i := 0; i < n; i++ {
+			for k := sys.G.RowPtr[i]; k < sys.G.RowPtr[i+1]; k++ {
+				j := sys.G.ColIdx[k]
+				switch {
+				case class[i] == ClassExternal && class[j] != ClassExternal:
+					class[j] = ClassBoundary
+				case class[i] != ClassExternal && class[j] == ClassExternal:
+					class[i] = ClassBoundary
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		switch class[i] {
+		case ClassBoundary:
+			p.Boundary = append(p.Boundary, i)
+			p.Keep = append(p.Keep, i)
+		case ClassInternal:
+			p.Keep = append(p.Keep, i)
+		}
+	}
+	return p
+}
+
+// Options configures a Ward reduction.
+type Options struct {
+	// LU sets the fill-reducing ordering and pivot tolerance of the external
+	// factorization. The zero value selects AMD ordering, the right default
+	// for mesh-like grids.
+	LU sparse.LUOptions
+	// Workers bounds concurrent Schur solves; 0 means GOMAXPROCS. Columns of
+	// the correction are independent, so the solve phase is embarrassingly
+	// parallel like BDSM's splitted systems.
+	Workers int
+	// MaxDenseBoundary caps the boundary size for which the Schur correction
+	// is accumulated in a dense |B|×|B| panel (enabling symmetrization of a
+	// symmetric input's correction). Larger boundaries stream per-column
+	// without symmetrization. 0 selects DefaultMaxDenseBoundary.
+	MaxDenseBoundary int
+}
+
+// DefaultMaxDenseBoundary bounds the dense Schur accumulation panel to
+// 4096² float64 (128 MiB).
+const DefaultMaxDenseBoundary = 4096
+
+// Stats reports the measured shape and cost of a Ward reduction.
+type Stats struct {
+	// N is the original state count; External/Boundary/Internal partition it.
+	N        int `json:"n"`
+	External int `json:"external"`
+	Boundary int `json:"boundary"`
+	Internal int `json:"internal"`
+	// Solves counts Schur solves (one per boundary column with external
+	// coupling).
+	Solves int `json:"solves"`
+	// FactorNNZ is the fill of the external factorization.
+	FactorNNZ int `json:"factor_nnz"`
+	// CorrectionNNZ counts nonzeros of the Schur correction stamped into G'.
+	CorrectionNNZ int `json:"correction_nnz"`
+	// Backend names the external factorization used: "cholesky", "lu", or
+	// "none" when nothing was eliminated.
+	Backend string `json:"backend"`
+	// Fallback carries the reason elimination was skipped (singular external
+	// block); empty on success. A fallback result aliases the input system
+	// unchanged, so it is always safe to use.
+	Fallback string `json:"fallback,omitempty"`
+	// PartitionTime and SchurTime split the wall clock of the two phases.
+	PartitionTime time.Duration `json:"partition_ns"`
+	SchurTime     time.Duration `json:"schur_ns"`
+}
+
+// Result is a completed Ward reduction.
+type Result struct {
+	// Sys is the reduced descriptor system over the kept states. When
+	// nothing was eliminated it aliases the input system.
+	Sys *lti.SparseSystem
+	// Part is the partition the reduction applied.
+	Part *Partition
+	// Stats reports elimination shape and cost.
+	Stats Stats
+}
+
+// Reduce partitions sys and eliminates its external states by a sparse Schur
+// complement. The reduction is exact: Result.Sys has the same transfer
+// matrix as sys at every frequency (up to solve roundoff). When no state
+// qualifies as external — or the external block is numerically singular —
+// the input system is returned unchanged with Stats.Fallback set, so Reduce
+// is always safe to call unconditionally.
+func Reduce(sys *lti.SparseSystem, opts Options) (*Result, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxDenseBoundary <= 0 {
+		opts.MaxDenseBoundary = DefaultMaxDenseBoundary
+	}
+	n, _, _ := sys.Dims()
+
+	tPart := time.Now()
+	part := PartitionSystem(sys)
+	res := &Result{Sys: sys, Part: part}
+	res.Stats = Stats{
+		N:        n,
+		External: len(part.External),
+		Boundary: len(part.Boundary),
+		Internal: len(part.Keep) - len(part.Boundary),
+		Backend:  "none",
+	}
+	res.Stats.PartitionTime = time.Since(tPart)
+	if len(part.External) == 0 {
+		return res, nil
+	}
+
+	tSchur := time.Now()
+	err := schurEliminate(sys, part, opts, res)
+	res.Stats.SchurTime = time.Since(tSchur)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// schurSolver is the minimal scratch-buffered solve surface shared by the
+// Cholesky and LU external factorizations.
+type schurSolver interface {
+	SolveBuf(dst, b, w []float64)
+	NNZ() int
+}
+
+// luSolver adapts sparse.LU's error-free SolveBuf signature.
+type luSolver struct{ lu *sparse.LU[float64] }
+
+func (s luSolver) SolveBuf(dst, b, w []float64) { s.lu.SolveBuf(dst, b, w) }
+func (s luSolver) NNZ() int                     { return s.lu.NNZ() }
+
+// cholSolver adapts sparse.Cholesky.
+type cholSolver struct{ ch *sparse.Cholesky }
+
+func (s cholSolver) SolveBuf(dst, b, w []float64) { s.ch.SolveBuf(dst, b, w) }
+func (s cholSolver) NNZ() int                     { return s.ch.NNZ() }
+
+// schurEliminate performs the elimination proper, filling res.Sys and the
+// Schur fields of res.Stats. On a singular external block it records a
+// fallback (res keeps aliasing the input) and returns nil; only structural
+// impossibilities return an error.
+func schurEliminate(sys *lti.SparseSystem, part *Partition, opts Options, res *Result) error {
+	n, m, p := sys.Dims()
+	nE, nK, nB := len(part.External), len(part.Keep), len(part.Boundary)
+
+	// Index maps original → position in E / K, and boundary → dense slot.
+	extIdx := make([]int32, n)
+	keepIdx := make([]int32, n)
+	for i := range extIdx {
+		extIdx[i] = -1
+		keepIdx[i] = -1
+	}
+	for e, i := range part.External {
+		extIdx[i] = int32(e)
+	}
+	for k, i := range part.Keep {
+		keepIdx[i] = int32(k)
+	}
+	bSlot := make([]int32, nK) // kept index → boundary slot, -1 for internal
+	for i := range bSlot {
+		bSlot[i] = -1
+	}
+	for b, i := range part.Boundary {
+		bSlot[keepIdx[i]] = int32(b)
+	}
+
+	// Split G into the four blocks the Schur complement needs. N = −G_EE is
+	// assembled directly (paper convention G = −G_std makes N the standard
+	// SPD conductance block for resistive externals). G_EK is built in
+	// column-compressed form over boundary columns; G_KE in row-compressed
+	// form over boundary rows; G_KK goes straight into the output COO.
+	g := sys.G
+	nnzEE, nnzEK, nnzKE, nnzKK := 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		rowExt := extIdx[i] >= 0
+		for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+			colExt := extIdx[g.ColIdx[k]] >= 0
+			switch {
+			case rowExt && colExt:
+				nnzEE++
+			case rowExt:
+				nnzEK++
+			case colExt:
+				nnzKE++
+			default:
+				nnzKK++
+			}
+		}
+	}
+	negEE := sparse.NewCOO[float64](nE, nE)
+	negEE.Reserve(nnzEE)
+	gOut := sparse.NewCOO[float64](nK, nK)
+	gOut.Reserve(nnzKK + nB*nB)
+
+	// G_EK columns: count → prefix → fill, CSC over the kept index space.
+	ekPtr := make([]int, nK+1)
+	ekRow := make([]int32, nnzEK)
+	ekVal := make([]float64, nnzEK)
+	// G_KE rows over boundary slots: keRowPtr[b]..keRowPtr[b+1] spans row b.
+	kePtr := make([]int, nB+1)
+	keCol := make([]int32, nnzKE)
+	keVal := make([]float64, nnzKE)
+
+	for i := 0; i < n; i++ {
+		if extIdx[i] >= 0 {
+			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+				if kj := keepIdx[g.ColIdx[k]]; kj >= 0 {
+					ekPtr[kj+1]++
+				}
+			}
+		} else {
+			b := bSlot[keepIdx[i]]
+			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+				if extIdx[g.ColIdx[k]] >= 0 {
+					if b < 0 {
+						return fmt.Errorf("ward: internal state %d has external coupling; partition is inconsistent", i)
+					}
+					kePtr[b+1]++
+				}
+			}
+		}
+	}
+	for k := 0; k < nK; k++ {
+		ekPtr[k+1] += ekPtr[k]
+	}
+	for b := 0; b < nB; b++ {
+		kePtr[b+1] += kePtr[b]
+	}
+	ekFill := make([]int, nK)
+	copy(ekFill, ekPtr[:nK])
+	keFill := make([]int, nB)
+	copy(keFill, kePtr[:nB])
+	for i := 0; i < n; i++ {
+		ki := keepIdx[i]
+		if e := extIdx[i]; e >= 0 {
+			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+				j := g.ColIdx[k]
+				if ej := extIdx[j]; ej >= 0 {
+					negEE.Add(int(e), int(ej), -g.Val[k])
+				} else if kj := keepIdx[j]; kj >= 0 {
+					ekRow[ekFill[kj]] = e
+					ekVal[ekFill[kj]] = g.Val[k]
+					ekFill[kj]++
+				}
+			}
+		} else {
+			b := bSlot[ki]
+			for k := g.RowPtr[i]; k < g.RowPtr[i+1]; k++ {
+				j := g.ColIdx[k]
+				if ej := extIdx[j]; ej >= 0 {
+					keCol[keFill[b]] = ej
+					keVal[keFill[b]] = g.Val[k]
+					keFill[b]++
+				} else {
+					gOut.Add(int(ki), int(keepIdx[j]), g.Val[k])
+				}
+			}
+		}
+	}
+
+	// Factor N = −G_EE: Cholesky when the block is symmetric (the resistive
+	// common case — half the work and fill of LU), LU otherwise or when the
+	// block is indefinite. A singular block means some external island has
+	// no path to ground or boundary; elimination is then impossible and the
+	// caller gets the input back unchanged.
+	eeCSR := negEE.ToCSR()
+	var solver schurSolver
+	backend := "lu"
+	if sparse.IsSymmetric(eeCSR, 1e-12) {
+		if ch, err := sparse.FactorCholesky(eeCSR.ToCSC(), opts.LU); err == nil {
+			solver = cholSolver{ch}
+			backend = "cholesky"
+		}
+	}
+	if solver == nil {
+		lu, err := sparse.FactorLU(eeCSR.ToCSC(), opts.LU)
+		if err != nil {
+			res.Stats.Fallback = fmt.Sprintf("external block singular: %v", err)
+			res.Stats.Backend = "none"
+			return nil
+		}
+		solver = luSolver{lu}
+	}
+	res.Stats.Backend = backend
+	res.Stats.FactorNNZ = solver.NNZ()
+
+	// Schur solves: one per boundary column with external coupling. The
+	// correction −G_KE·N⁻¹·G_EK is nonzero only on boundary rows × boundary
+	// columns. Columns are independent → sharded across workers. When the
+	// boundary is small enough the correction accumulates into a dense
+	// |B|×|B| panel so a symmetric input can be symmetrized exactly;
+	// otherwise each column is stamped as computed.
+	useDense := nB <= opts.MaxDenseBoundary
+	var corr []float64
+	if useDense {
+		corr = make([]float64, nB*nB)
+	}
+	var mu sync.Mutex // guards gOut in the streaming (non-dense) path
+	solves := 0
+	type colJob struct{ kj, b int32 }
+	jobs := make([]colJob, 0, nB)
+	for b, i := range part.Boundary {
+		kj := keepIdx[i]
+		if ekPtr[kj+1] > ekPtr[kj] {
+			jobs = append(jobs, colJob{kj, int32(b)})
+			solves++
+		}
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := make([]float64, nE)
+			scratch := make([]float64, nE)
+			delta := make([]float64, nB)
+			for idx := range next {
+				job := jobs[idx]
+				kj, b := int(job.kj), int(job.b)
+				sparse.ZeroVec(x)
+				schurScatter(x, ekRow[ekPtr[kj]:ekPtr[kj+1]], ekVal[ekPtr[kj]:ekPtr[kj+1]])
+				solver.SolveBuf(x, x, scratch)
+				// delta[bi] = (G_KE · y)[bi] over boundary rows; with the
+				// paper's G = −G_std sign, the external rows give
+				// x_E = N⁻¹·G_EK·x_K, so delta adds into G'.
+				for bi := 0; bi < nB; bi++ {
+					delta[bi] = schurGather(keCol[kePtr[bi]:kePtr[bi+1]], keVal[kePtr[bi]:kePtr[bi+1]], x)
+				}
+				if useDense {
+					col := corr[b*nB : (b+1)*nB]
+					copy(col, delta)
+					continue
+				}
+				mu.Lock()
+				for bi := 0; bi < nB; bi++ {
+					if delta[bi] != 0 {
+						gOut.Add(int(keepIdx[part.Boundary[bi]]), kj, delta[bi])
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for idx := range jobs {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	res.Stats.Solves = solves
+
+	if useDense {
+		// A symmetric G yields a symmetric correction in exact arithmetic;
+		// averaging restores the symmetry the independent solves lose to
+		// roundoff, keeping the reduced pencil eligible for Cholesky.
+		if sparse.IsSymmetric(g, 1e-12) {
+			for b := 0; b < nB; b++ {
+				for bi := 0; bi < b; bi++ {
+					avg := (corr[b*nB+bi] + corr[bi*nB+b]) / 2
+					corr[b*nB+bi] = avg
+					corr[bi*nB+b] = avg
+				}
+			}
+		}
+		for b := 0; b < nB; b++ {
+			kj := int(keepIdx[part.Boundary[b]])
+			for bi := 0; bi < nB; bi++ {
+				if v := corr[b*nB+bi]; v != 0 {
+					gOut.Add(int(keepIdx[part.Boundary[bi]]), kj, v)
+					res.Stats.CorrectionNNZ++
+				}
+			}
+		}
+	} else {
+		res.Stats.CorrectionNNZ = gOut.NNZ() - nnzKK
+	}
+
+	// Restrict C, B, L to the kept states. External rows and columns are
+	// empty there by construction of the partition, so this is a pure
+	// reindexing.
+	cOut := sparse.NewCOO[float64](nK, nK)
+	cOut.Reserve(sys.C.NNZ())
+	for i := 0; i < n; i++ {
+		ki := keepIdx[i]
+		if ki < 0 {
+			continue
+		}
+		for k := sys.C.RowPtr[i]; k < sys.C.RowPtr[i+1]; k++ {
+			cOut.Add(int(ki), int(keepIdx[sys.C.ColIdx[k]]), sys.C.Val[k])
+		}
+	}
+	bOut := sparse.NewCOO[float64](nK, m)
+	bOut.Reserve(sys.B.NNZ())
+	for j := 0; j < m; j++ {
+		for k := sys.B.ColPtr[j]; k < sys.B.ColPtr[j+1]; k++ {
+			bOut.Add(int(keepIdx[sys.B.RowIdx[k]]), j, sys.B.Val[k])
+		}
+	}
+	lOut := sparse.NewCOO[float64](p, nK)
+	lOut.Reserve(sys.L.NNZ())
+	for i := 0; i < p; i++ {
+		for k := sys.L.RowPtr[i]; k < sys.L.RowPtr[i+1]; k++ {
+			lOut.Add(i, int(keepIdx[sys.L.ColIdx[k]]), sys.L.Val[k])
+		}
+	}
+
+	reduced, err := lti.NewSparseSystem(cOut.ToCSR(), gOut.ToCSR(), bOut.ToCSR(), lOut.ToCSR())
+	if err != nil {
+		return fmt.Errorf("ward: assembling reduced system: %w", err)
+	}
+	res.Sys = reduced
+	return nil
+}

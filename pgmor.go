@@ -29,6 +29,7 @@ import (
 	"repro/internal/lti"
 	"repro/internal/passivity"
 	"repro/internal/sim"
+	"repro/internal/ward"
 )
 
 // System is any LTI realization that can evaluate its transfer matrix.
@@ -61,6 +62,19 @@ type BDSMOptions = core.Options
 // BDSMStats reports measured reduction cost.
 type BDSMStats = core.Stats
 
+// WardOptions configures the exact Ward/Schur pre-reduction stage; it runs
+// inside ReduceBDSM when BDSMOptions.WardReduce is set, or standalone via
+// ReduceWard.
+type WardOptions = ward.Options
+
+// WardStats reports the pre-reduction stage's partition shape and cost
+// (also surfaced as BDSMStats.Ward).
+type WardStats = ward.Stats
+
+// WardResult is a standalone pre-reduction outcome: the (exactly
+// equivalent) reduced system plus the partition that produced it.
+type WardResult = ward.Result
+
 // BaselineOptions configures the PRIMA/EKS/SVDMOR baselines.
 type BaselineOptions = baseline.Options
 
@@ -76,6 +90,18 @@ type GridConfig = grid.Config
 
 // GridModel is a stamped power-grid descriptor model.
 type GridModel = grid.Model
+
+// MultiscaleConfig parameterizes the transmission+distribution generator: a
+// purely resistive backbone ring (Ward-eliminable in full) feeding RC
+// distribution subgrids — the scale-ladder instance family of
+// `pgbench -exp scale`.
+type MultiscaleConfig = grid.MultiscaleConfig
+
+// MultiscaleBenchmark sizes a MultiscaleConfig to roughly the requested
+// total node count with a bounded port set.
+func MultiscaleBenchmark(nodes int) (MultiscaleConfig, error) {
+	return grid.MultiscaleBenchmark(nodes)
+}
 
 // Netlist is an RLC circuit netlist.
 type Netlist = circuit.Netlist
@@ -152,6 +178,13 @@ func ImpedanceView(sys *SparseModel) *SparseModel { return sys.ImpedanceView() }
 // (Algorithm 1) and returns the block-diagonal ROM.
 func ReduceBDSM(sys *SparseModel, opts BDSMOptions) (*BlockDiagROM, error) {
 	return core.Reduce(sys, opts)
+}
+
+// ReduceWard runs the Ward/Schur pre-reduction alone: static states (no
+// capacitance, source, or probe) are eliminated through a sparse Schur
+// complement, leaving a smaller system with the identical transfer matrix.
+func ReduceWard(sys *SparseModel, opts WardOptions) (*WardResult, error) {
+	return ward.Reduce(sys, opts)
 }
 
 // ReducePRIMA runs the PRIMA baseline (dense size-m·l ROM).
